@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures via the
+experiment functions in :mod:`repro.bench.experiments` and asserts the
+*shape* the paper reports (who wins, roughly by what factor, where
+crossovers fall) — never absolute numbers, which depend on scale and
+substrate.
+
+Benchmarks default to the ``smoke`` profile so the whole suite runs in
+minutes; set ``REPRO_SCALE=default`` (or ``large`` / ``paper``) to
+scale up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale for this benchmark session."""
+    return current_scale(default="smoke")
+
+
+def run_once(benchmark, experiment, scale):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are macro-benchmarks of a whole simulated experiment, so a
+    single round is representative; repetition would only multiply the
+    suite's runtime.
+    """
+    return benchmark.pedantic(
+        experiment, kwargs={"scale": scale}, rounds=1, iterations=1
+    )

@@ -1,0 +1,29 @@
+"""E6 — Figure 5.6: the replication scheme vs. filtering distribution.
+
+Shape: with k rewriter replicas per attribute-level key, each incoming
+tuple loads one replica, so the hottest rewriter's filtering load drops
+(roughly by k for the small factors) while total attribute-level
+filtering stays in the same ballpark — and the answers are unchanged.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_e6
+
+
+def test_e6_replication_filtering(benchmark, scale):
+    result = run_once(benchmark, run_e6, scale)
+    by_factor = {row["replication"]: row for row in result.rows}
+
+    # Identical answers at every factor.
+    delivered = {row["rows_delivered"] for row in result.rows}
+    assert len(delivered) == 1
+
+    # The hottest rewriter is relieved going from k=1 to k=2.
+    assert by_factor[2]["max_rewriter_filtering"] < by_factor[1]["max_rewriter_filtering"]
+    # And k=4 does not regress above the unreplicated hotspot.
+    assert by_factor[4]["max_rewriter_filtering"] < by_factor[1]["max_rewriter_filtering"]
+
+    # Total attribute-level filtering work is not inflated by more than
+    # the grouping slack (queries are checked at one replica per tuple).
+    assert by_factor[8]["al_filtering_total"] < by_factor[1]["al_filtering_total"] * 1.6

@@ -1,0 +1,31 @@
+"""Experiment harness: scales, workload replay, per-figure experiments."""
+
+from .comparison import run_t1, trace_canonical_example
+from .configs import SCALES, Scale, current_scale
+from .experiments import ALL_ALGORITHMS, EXPERIMENTS, TWO_LEVEL_ALGORITHMS
+from .harness import (
+    RunResult,
+    make_engine,
+    run_standard,
+    run_workload,
+    workload_for,
+)
+from .report import ExperimentResult, render_table
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "RunResult",
+    "SCALES",
+    "Scale",
+    "TWO_LEVEL_ALGORITHMS",
+    "current_scale",
+    "make_engine",
+    "render_table",
+    "run_standard",
+    "run_t1",
+    "run_workload",
+    "trace_canonical_example",
+    "workload_for",
+]

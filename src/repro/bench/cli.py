@@ -1,0 +1,89 @@
+"""Command-line entry point: run experiments and print/record results.
+
+Usage::
+
+    repro-experiments                      # run everything at REPRO_SCALE
+    repro-experiments --only E2 E10        # a subset
+    repro-experiments --scale smoke        # quick pass
+    repro-experiments --write-md out.md    # write a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .comparison import run_t1
+from .configs import SCALES
+from .experiments import EXPERIMENTS
+from .report import ExperimentResult
+
+
+def _all_experiments():
+    registry = dict(EXPERIMENTS)
+    registry["T1"] = lambda scale=None: run_t1()
+    return registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="EXP",
+        help="experiment ids to run (default: all), e.g. E2 E10 T1",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        help="override REPRO_SCALE for this invocation",
+    )
+    parser.add_argument(
+        "--write-md",
+        metavar="PATH",
+        help="also write the results as a markdown report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+
+    registry = _all_experiments()
+    wanted = args.only if args.only else sorted(registry, key=_experiment_order)
+    unknown = [name for name in wanted if name not in registry]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; available: {sorted(registry)}")
+
+    results: list[ExperimentResult] = []
+    for name in wanted:
+        started = time.perf_counter()
+        result = registry[name]()
+        elapsed = time.perf_counter() - started
+        results.append(result)
+        print(result.to_text())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+
+    if args.write_md:
+        with open(args.write_md, "w", encoding="utf-8") as handle:
+            handle.write("# Experiment results\n\n")
+            for result in results:
+                handle.write(result.to_markdown())
+                handle.write("\n")
+        print(f"markdown report written to {args.write_md}")
+    return 0
+
+
+def _experiment_order(name: str) -> tuple[int, int]:
+    if name == "T1":
+        return (0, 0)
+    return (1, int(name[1:]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Table 4.1 — a comparison of all algorithms.
+
+The thesis' Table 4.1 contrasts the exact sequence of steps of SAI,
+DAI-Q, DAI-T and DAI-V.  This module regenerates it from two sources:
+
+* the declared properties of each algorithm class (how many rewriters,
+  what evaluators store, when notifications are created);
+* a live micro-trace of the canonical example (one query, one R tuple,
+  one matching S tuple) that *measures* the step behaviour instead of
+  restating it.
+"""
+
+from __future__ import annotations
+
+from ..chord.network import ChordNetwork
+from ..core.engine import ContinuousQueryEngine, EngineConfig
+from ..sql.schema import Schema
+from .report import ExperimentResult
+
+#: Qualitative rows (from Chapter 4's algorithm descriptions).
+_QUALITATIVE = {
+    "sai": {
+        "rewriters_per_query": 1,
+        "evaluator_stores_tuples": "yes",
+        "evaluator_stores_queries": "yes",
+        "notification_on": "query or tuple arrival",
+        "reindex_per_trigger": "every trigger",
+        "supports_t2": "no",
+    },
+    "dai-q": {
+        "rewriters_per_query": 2,
+        "evaluator_stores_tuples": "yes",
+        "evaluator_stores_queries": "no",
+        "notification_on": "rewritten-query arrival",
+        "reindex_per_trigger": "every trigger",
+        "supports_t2": "no",
+    },
+    "dai-t": {
+        "rewriters_per_query": 2,
+        "evaluator_stores_tuples": "no",
+        "evaluator_stores_queries": "yes",
+        "notification_on": "tuple arrival",
+        "reindex_per_trigger": "once per rewritten key",
+        "supports_t2": "no",
+    },
+    "dai-v": {
+        "rewriters_per_query": 2,
+        "evaluator_stores_tuples": "projections",
+        "evaluator_stores_queries": "no",
+        "notification_on": "rewritten-query arrival",
+        "reindex_per_trigger": "every trigger",
+        "supports_t2": "yes",
+    },
+}
+
+
+def trace_canonical_example(algorithm: str, n_nodes: int = 64) -> dict:
+    """Run the Chapter 4 example and measure the step behaviour.
+
+    Query ``SELECT R.A, S.D FROM R, S WHERE R.C = S.C``; insert
+    ``R(1, 7)``-style tuples and a matching ``S`` tuple; also repeat the
+    same R tuple to expose DAI-T's reindex-once behaviour.
+    """
+    schema = Schema.from_dict({"R": ["A", "C"], "S": ["D", "C"]})
+    network = ChordNetwork.build(n_nodes)
+    engine = ContinuousQueryEngine(
+        network, EngineConfig(algorithm=algorithm, index_choice="left")
+    )
+    subscriber = network.nodes[0]
+    query = engine.subscribe(
+        subscriber, "SELECT R.A, S.D FROM R, S WHERE R.C = S.C", schema
+    )
+    query_messages = engine.traffic.messages_by_type.get("query", 0)
+
+    r_relation, s_relation = schema.relation("R"), schema.relation("S")
+    engine.clock.advance(1)
+    engine.publish(network.nodes[1], r_relation, {"A": 1, "C": 7})
+    joins_after_first = engine.traffic.messages_by_type.get("join", 0)
+    engine.clock.advance(1)
+    engine.publish(network.nodes[2], r_relation, {"A": 1, "C": 7})  # duplicate
+    joins_after_duplicate = engine.traffic.messages_by_type.get("join", 0)
+    engine.clock.advance(1)
+    engine.publish(network.nodes[3], s_relation, {"D": 2, "C": 7})
+
+    stored_tuples = sum(
+        len(engine.state(node).vltt) + len(engine.state(node).projections)
+        for node in network
+    )
+    stored_queries = sum(len(engine.state(node).vlqt) for node in network)
+    return {
+        "algorithm": algorithm,
+        "rewriter_copies": query_messages,
+        "join_msgs_first_trigger": joins_after_first,
+        "join_msgs_duplicate_trigger": joins_after_duplicate - joins_after_first,
+        "value_level_tuples": stored_tuples,
+        "value_level_queries": stored_queries,
+        "rows_delivered": len(engine.delivered_rows(query.key)),
+    }
+
+
+def run_t1(n_nodes: int = 64) -> ExperimentResult:
+    """Regenerate Table 4.1 (qualitative + measured columns)."""
+    rows = []
+    for algorithm, qualitative in _QUALITATIVE.items():
+        measured = trace_canonical_example(algorithm, n_nodes)
+        rows.append({**qualitative, **measured})
+    return ExperimentResult(
+        experiment="T1",
+        figure="Table 4.1 — a comparison of all algorithms",
+        title="algorithm comparison (qualitative + measured on the canonical example)",
+        columns=[
+            "algorithm",
+            "rewriters_per_query",
+            "rewriter_copies",
+            "notification_on",
+            "evaluator_stores_tuples",
+            "evaluator_stores_queries",
+            "reindex_per_trigger",
+            "join_msgs_duplicate_trigger",
+            "supports_t2",
+            "rows_delivered",
+        ],
+        rows=rows,
+        notes=(
+            "rewriter_copies and join message counts are measured live; "
+            "every algorithm delivers exactly the one expected answer row."
+        ),
+    )

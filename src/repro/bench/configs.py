@@ -1,0 +1,81 @@
+"""Experiment scale profiles.
+
+The paper simulates 10^4 nodes with 10^5 installed queries.  That runs
+(slowly) on a laptop in pure Python, so the default profile scales the
+numbers down while preserving every shape the experiments assert (who
+wins, by what factor, where crossovers fall).  Select a profile with
+the ``REPRO_SCALE`` environment variable::
+
+    REPRO_SCALE=paper pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes of one experiment profile."""
+
+    name: str
+    n_nodes: int
+    n_queries: int
+    n_tuples: int
+    domain_size: int
+    #: Zipf exponent of attribute values ("highly skewed", §4.3.6);
+    #: larger profiles use wider domains and milder skew so that join
+    #: selectivity — and with it notification volume — stays realistic.
+    zipf_s: float = 0.9
+
+    def scaled(self, *, nodes: float = 1.0, queries: float = 1.0, tuples: float = 1.0) -> "Scale":
+        """A derived profile with some axes multiplied (for sweeps)."""
+        return Scale(
+            name=self.name,
+            n_nodes=max(2, int(self.n_nodes * nodes)),
+            n_queries=max(1, int(self.n_queries * queries)),
+            n_tuples=max(1, int(self.n_tuples * tuples)),
+            domain_size=self.domain_size,
+            zipf_s=self.zipf_s,
+        )
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale("smoke", n_nodes=64, n_queries=80, n_tuples=200, domain_size=60),
+    "default": Scale(
+        "default",
+        n_nodes=256,
+        n_queries=400,
+        n_tuples=700,
+        domain_size=900,
+        zipf_s=0.75,
+    ),
+    "large": Scale(
+        "large",
+        n_nodes=1024,
+        n_queries=2000,
+        n_tuples=2500,
+        domain_size=4000,
+        zipf_s=0.72,
+    ),
+    "paper": Scale(
+        "paper",
+        n_nodes=10_000,
+        n_queries=100_000,
+        n_tuples=50_000,
+        domain_size=200_000,
+        zipf_s=0.7,
+    ),
+}
+
+
+def current_scale(default: str = "default") -> Scale:
+    """The profile chosen by ``REPRO_SCALE`` (or ``default``)."""
+    name = os.environ.get("REPRO_SCALE", default)
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_SCALE={name!r}; expected one of {sorted(SCALES)}"
+        ) from None

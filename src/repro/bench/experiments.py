@@ -1,0 +1,819 @@
+"""One experiment function per paper table/figure (DESIGN.md §4).
+
+Each ``run_eN`` regenerates the rows/series of one figure of the
+thesis' Chapter 5 (ICDE 2006 evaluation section) and returns an
+:class:`~repro.bench.report.ExperimentResult`.  Absolute numbers differ
+from the paper (different hardware, scaled workloads); the *shapes* —
+who wins, by roughly what factor, where crossovers fall — are asserted
+by the benchmark suite.
+
+All functions accept a :class:`~repro.bench.configs.Scale`; benchmarks
+pass the profile from ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import statistics
+from typing import Optional
+
+from ..chord.network import ChordNetwork
+from ..chord.routing import multisend_cost
+from .configs import Scale, current_scale
+from .harness import run_standard, workload_for
+from .report import ExperimentResult
+
+#: The four algorithms in presentation order.
+ALL_ALGORITHMS = ("sai", "dai-q", "dai-t", "dai-v")
+#: The two-level-indexing algorithms of Figure 5.11.
+TWO_LEVEL_ALGORITHMS = ("sai", "dai-q", "dai-t")
+
+#: Comparisons between algorithms use the random index choice so SAI
+#: pays no probe traffic that the DAI family does not (the strategy
+#: itself is evaluated by E4).
+_NEUTRAL = {"index_choice": "random"}
+
+
+# ----------------------------------------------------------------------
+# E1 — recursive vs. iterative multisend (Figure 5.1)
+# ----------------------------------------------------------------------
+
+def run_e1(scale: Optional[Scale] = None, trials: int = 5) -> ExperimentResult:
+    """Hops of ``multisend`` to k recipients, both designs."""
+    if scale is None:
+        scale = current_scale()
+    network = ChordNetwork.build(scale.n_nodes)
+    import random
+
+    rng = random.Random(42)
+    rows = []
+    k = 1
+    while k <= 256:
+        iterative = []
+        recursive = []
+        for _ in range(trials):
+            source = network.random_node(rng)
+            idents = [rng.randrange(network.space.size) for _ in range(k)]
+            iterative.append(
+                multisend_cost(network.router, source, idents, recursive=False)
+            )
+            recursive.append(
+                multisend_cost(network.router, source, idents, recursive=True)
+            )
+        mean_iterative = statistics.mean(iterative)
+        mean_recursive = statistics.mean(recursive)
+        rows.append(
+            {
+                "k": k,
+                "iterative_hops": mean_iterative,
+                "recursive_hops": mean_recursive,
+                "savings": mean_iterative / mean_recursive if mean_recursive else 1.0,
+            }
+        )
+        k *= 4
+    return ExperimentResult(
+        experiment="E1",
+        figure="Figure 5.1 — recursive vs. iterative design for multisend",
+        title="multisend hop cost, recursive vs. iterative",
+        columns=["k", "iterative_hops", "recursive_hops", "savings"],
+        rows=rows,
+        notes=(
+            f"network of {scale.n_nodes} nodes; both designs are O(k log N) "
+            "but the recursive sweep shares routing work across recipients."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E2 — traffic cost and the JFRT effect (Figure 5.2)
+# ----------------------------------------------------------------------
+
+def run_e2(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Hops per tuple insertion for all algorithms, with/without JFRT."""
+    if scale is None:
+        scale = current_scale()
+    workload = workload_for(scale)
+    rows = []
+    for algorithm in ALL_ALGORITHMS:
+        for jfrt_capacity in (0, 4096):
+            result = run_standard(
+                algorithm,
+                scale,
+                config_overrides={**_NEUTRAL, "jfrt_capacity": jfrt_capacity},
+                workload=workload,
+                collect_per_tuple_hops=True,
+            )
+            series = result.per_tuple_hops
+            fifth = max(1, len(series) // 5)
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "jfrt": "on" if jfrt_capacity else "off",
+                    "hops_per_tuple": result.hops_per_tuple,
+                    "early_hops": statistics.mean(series[:fifth]),
+                    "late_hops": statistics.mean(series[-fifth:]),
+                    "total_hops": result.stream_traffic.hops,
+                }
+            )
+    return ExperimentResult(
+        experiment="E2",
+        figure="Figure 5.2 — traffic cost and JFRT effect",
+        title="per-insertion traffic, with and without the JFRT",
+        columns=[
+            "algorithm",
+            "jfrt",
+            "hops_per_tuple",
+            "early_hops",
+            "late_hops",
+            "total_hops",
+        ],
+        rows=rows,
+        notes=(
+            "early/late = mean hops in the first/last fifth of the stream; "
+            "with the JFRT on, late insertions reindex rewritten queries in "
+            "one hop once the cache is warm."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — number of indexed queries vs. network traffic (Figure 5.3)
+# ----------------------------------------------------------------------
+
+def run_e3(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Traffic growth as the number of installed queries increases."""
+    if scale is None:
+        scale = current_scale()
+    rows = []
+    for fraction in (0.1, 0.33, 1.0):
+        n_queries = max(1, int(scale.n_queries * fraction))
+        workload = workload_for(scale, n_queries=n_queries)
+        for algorithm in ALL_ALGORITHMS:
+            result = run_standard(
+                algorithm, scale, config_overrides=_NEUTRAL, workload=workload
+            )
+            rows.append(
+                {
+                    "n_queries": n_queries,
+                    "algorithm": algorithm,
+                    "hops_per_tuple": result.hops_per_tuple,
+                    "join_messages": result.stream_traffic.messages_by_type.get(
+                        "join", 0
+                    ),
+                    "notifications": result.notifications_delivered,
+                }
+            )
+    return ExperimentResult(
+        experiment="E3",
+        figure="Figure 5.3 — effect of the number of indexed queries on traffic",
+        title="per-insertion traffic vs. installed queries",
+        columns=[
+            "n_queries",
+            "algorithm",
+            "hops_per_tuple",
+            "join_messages",
+            "notifications",
+        ],
+        rows=rows,
+        notes=(
+            "query grouping (one join message per evaluator) keeps traffic "
+            "sublinear in |Q|; DAI-T flattens further because rewritten "
+            "queries are reindexed only once."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E4 — index-attribute choice strategies in SAI (Figure 5.4)
+# ----------------------------------------------------------------------
+
+def run_e4(scale: Optional[Scale] = None, bos_ratio: float = 8.0) -> ExperimentResult:
+    """SAI traffic under the four index-attribute selection strategies."""
+    if scale is None:
+        scale = current_scale()
+    warmup = max(50, scale.n_tuples // 5)
+    workload = workload_for(
+        scale, bos_ratio=bos_ratio, warmup_tuples=warmup
+    )
+    rows = []
+    for strategy in ("random", "min-rate", "max-rate", "uniformity"):
+        result = run_standard(
+            "sai",
+            scale,
+            config_overrides={"index_choice": strategy},
+            workload=workload,
+        )
+        rows.append(
+            {
+                "strategy": strategy,
+                "hops_per_tuple": result.hops_per_tuple,
+                "stream_hops": result.stream_traffic.hops,
+                "probe_hops": result.install_traffic.hops_by_type.get(
+                    "rate-probe", 0
+                ),
+                "filtering_gini": result.load.filtering_gini(),
+            }
+        )
+    return ExperimentResult(
+        experiment="E4",
+        figure="Figure 5.4 — comparison of index-attribute selection strategies in SAI",
+        title="SAI index-attribute choice strategies",
+        columns=[
+            "strategy",
+            "hops_per_tuple",
+            "stream_hops",
+            "probe_hops",
+            "filtering_gini",
+        ],
+        rows=rows,
+        notes=(
+            f"streams are imbalanced (bos ratio {bos_ratio}:1) and rewriters "
+            f"warm up on {warmup} tuples before queries arrive; min-rate "
+            "indexes each query under the slow relation and generates the "
+            "least rewriting traffic."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E5 — effect of the bos ratio (Figure 5.5, reconstructed)
+# ----------------------------------------------------------------------
+
+def run_e5(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Traffic/load of all algorithms as the stream imbalance grows."""
+    if scale is None:
+        scale = current_scale()
+    sweep_scale = scale.scaled(queries=0.5, tuples=0.7)
+    rows = []
+    for bos_ratio in (1.0, 4.0, 16.0):
+        warmup = max(50, sweep_scale.n_tuples // 5)
+        workload = workload_for(
+            sweep_scale, bos_ratio=bos_ratio, warmup_tuples=warmup
+        )
+        for algorithm in ALL_ALGORITHMS:
+            config = (
+                {"index_choice": "min-rate"} if algorithm == "sai" else dict(_NEUTRAL)
+            )
+            result = run_standard(
+                algorithm, sweep_scale, config_overrides=config, workload=workload
+            )
+            rows.append(
+                {
+                    "bos_ratio": bos_ratio,
+                    "algorithm": algorithm,
+                    "hops_per_tuple": result.hops_per_tuple,
+                    "filtering_gini": result.load.filtering_gini(),
+                }
+            )
+    return ExperimentResult(
+        experiment="E5",
+        figure="Figure 5.5 — effect of the bos ratio [reconstructed]",
+        title="balance-of-streams ratio sweep",
+        columns=["bos_ratio", "algorithm", "hops_per_tuple", "filtering_gini"],
+        rows=rows,
+        notes=(
+            "bos ratio = arrival-rate ratio between the two joined "
+            "relations (reconstruction, DESIGN.md §4); SAI uses min-rate "
+            "and benefits most from imbalance."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E6/E7 — the replication scheme (Figures 5.6/5.7)
+# ----------------------------------------------------------------------
+
+def _replication_sweep(scale: Scale, algorithm: str) -> list[dict]:
+    """Deep-copied rows of the cached replication sweep."""
+    return copy.deepcopy(_replication_sweep_cached(scale, algorithm))
+
+
+@functools.lru_cache(maxsize=8)
+def _replication_sweep_cached(scale: Scale, algorithm: str) -> list[dict]:
+    workload = workload_for(scale)
+    rows = []
+    for factor in (1, 2, 4, 8):
+        result = run_standard(
+            algorithm,
+            scale,
+            config_overrides={**_NEUTRAL, "replication_factor": factor},
+            workload=workload,
+        )
+        load = result.load
+        al_filtering = load.attribute_level_filtering.values()
+        al_storage = load.attribute_level_storage.values()
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "replication": factor,
+                "max_rewriter_filtering": max(al_filtering, default=0),
+                "al_filtering_total": sum(al_filtering),
+                "max_rewriter_storage": max(al_storage, default=0),
+                "al_storage_total": sum(al_storage),
+                "rows_delivered": result.notifications_delivered,
+            }
+        )
+    return rows
+
+
+def run_e6(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Replication factor vs. attribute-level *filtering* distribution."""
+    if scale is None:
+        scale = current_scale()
+    rows = _replication_sweep(scale, "sai")
+    return ExperimentResult(
+        experiment="E6",
+        figure="Figure 5.6 — effect of the replication scheme on filtering load distribution",
+        title="rewriter replication: filtering load",
+        columns=[
+            "algorithm",
+            "replication",
+            "max_rewriter_filtering",
+            "al_filtering_total",
+            "rows_delivered",
+        ],
+        rows=rows,
+        notes=(
+            "each tuple's al-index goes to one replica, so the hottest "
+            "rewriter's filtering load drops roughly by the factor while "
+            "total filtering work stays put."
+        ),
+    )
+
+
+def run_e7(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Replication factor vs. attribute-level *storage* distribution."""
+    if scale is None:
+        scale = current_scale()
+    rows = _replication_sweep(scale, "sai")
+    return ExperimentResult(
+        experiment="E7",
+        figure="Figure 5.7 — effect of the replication scheme on storage load distribution",
+        title="rewriter replication: storage load",
+        columns=[
+            "algorithm",
+            "replication",
+            "max_rewriter_storage",
+            "al_storage_total",
+            "rows_delivered",
+        ],
+        rows=rows,
+        notes=(
+            "queries are stored at every replica, so attribute-level "
+            "storage grows by the replication factor — the price of the "
+            "filtering balance of E6."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E8/E9 — window size and installed queries vs. evaluator load
+# (Figures 5.8/5.9)
+# ----------------------------------------------------------------------
+
+def _window_sweep(scale: Scale) -> list[dict]:
+    """Deep-copied rows of the cached window sweep."""
+    return copy.deepcopy(_window_sweep_cached(scale))
+
+
+@functools.lru_cache(maxsize=8)
+def _window_sweep_cached(scale: Scale) -> list[dict]:
+    rows = []
+    stream_span = float(scale.n_tuples)  # tuple_interval = 1.0
+    for algorithm in ("sai", "dai-t"):
+        for query_fraction in (0.33, 1.0):
+            n_queries = max(1, int(scale.n_queries * query_fraction))
+            for window in (
+                stream_span * 0.05,
+                stream_span * 0.25,
+                None,
+            ):
+                workload = workload_for(scale, n_queries=n_queries)
+                result = run_standard(
+                    algorithm,
+                    scale,
+                    config_overrides={**_NEUTRAL, "window": window},
+                    workload=workload,
+                )
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "n_queries": n_queries,
+                        "window": window if window is not None else "unbounded",
+                        "evaluator_filtering": result.load.total_evaluator_filtering,
+                        "evaluator_storage": result.load.total_evaluator_storage,
+                        "rows_delivered": result.notifications_delivered,
+                    }
+                )
+    return rows
+
+
+def run_e8(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Window size × installed queries → total evaluator filtering load."""
+    if scale is None:
+        scale = current_scale()
+    rows = _window_sweep(scale.scaled(queries=0.6, tuples=0.7))
+    return ExperimentResult(
+        experiment="E8",
+        figure="Figure 5.8 — window size and installed queries vs. total evaluator filtering load",
+        title="evaluator filtering load vs. window and |Q|",
+        columns=[
+            "algorithm",
+            "n_queries",
+            "window",
+            "evaluator_filtering",
+            "rows_delivered",
+        ],
+        rows=rows,
+        notes=(
+            "larger windows keep more value-level state alive, so every "
+            "arriving message scans more candidates; load also grows with "
+            "the number of installed queries."
+        ),
+    )
+
+
+def run_e9(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Window size × installed queries → total evaluator storage load."""
+    if scale is None:
+        scale = current_scale()
+    rows = _window_sweep(scale.scaled(queries=0.6, tuples=0.7))
+    return ExperimentResult(
+        experiment="E9",
+        figure="Figure 5.9 — window size and installed queries vs. total evaluator storage load",
+        title="evaluator storage load vs. window and |Q|",
+        columns=[
+            "algorithm",
+            "n_queries",
+            "window",
+            "evaluator_storage",
+            "rows_delivered",
+        ],
+        rows=rows,
+        notes="storage is measured after final window eviction.",
+    )
+
+
+# ----------------------------------------------------------------------
+# E10/E11 — load distribution across algorithms (Figures 5.10/5.11)
+# ----------------------------------------------------------------------
+
+def _distribution_rows(scale: Scale, algorithms) -> tuple[list[dict], dict]:
+    workload = workload_for(scale)
+    rows = []
+    series: dict[str, list[float]] = {}
+    for algorithm in algorithms:
+        result = run_standard(
+            algorithm, scale, config_overrides=_NEUTRAL, workload=workload
+        )
+        load = result.load
+        filtering = load.sorted_filtering()
+        storage = load.sorted_storage()
+        series[f"filtering load, {algorithm}"] = filtering.tolist()
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "TF": load.total_filtering,
+                "TS": load.total_storage,
+                "filtering_gini": load.filtering_gini(),
+                "storage_gini": load.storage_gini(),
+                "max_filtering": int(filtering[0]) if filtering.size else 0,
+                "max_storage": int(storage[0]) if storage.size else 0,
+                "participation": load.filtering_participation(),
+            }
+        )
+    return rows, series
+
+
+def run_e10(scale: Optional[Scale] = None) -> ExperimentResult:
+    """TF and TS load-distribution comparison for all four algorithms."""
+    if scale is None:
+        scale = current_scale()
+    rows, series = _distribution_rows(scale, ALL_ALGORITHMS)
+    return ExperimentResult(
+        experiment="E10",
+        figure="Figure 5.10 — TF and TS load distribution comparison for all algorithms",
+        title="total filtering/storage load and distribution, all algorithms",
+        columns=[
+            "algorithm",
+            "TF",
+            "TS",
+            "filtering_gini",
+            "storage_gini",
+            "max_filtering",
+            "max_storage",
+            "participation",
+        ],
+        rows=rows,
+        series=series,
+        notes=(
+            "DAI-V concentrates load (value-only identifiers, no attribute "
+            "prefix); the two-level algorithms spread it across more nodes. "
+            "The curves plot per-node filtering load, most loaded first."
+        ),
+    )
+
+
+def run_e11(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Per-level load split for the two-level indexing algorithms."""
+    if scale is None:
+        scale = current_scale()
+    workload = workload_for(scale)
+    rows = []
+    for algorithm in TWO_LEVEL_ALGORITHMS:
+        result = run_standard(
+            algorithm, scale, config_overrides=_NEUTRAL, workload=workload
+        )
+        load = result.load
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "al_filtering": sum(load.attribute_level_filtering.values()),
+                "vl_filtering": sum(load.value_level_filtering.values()),
+                "al_storage": sum(load.attribute_level_storage.values()),
+                "vl_storage": sum(load.value_level_storage.values()),
+                "filtering_gini": load.filtering_gini(),
+                "storage_gini": load.storage_gini(),
+            }
+        )
+    return ExperimentResult(
+        experiment="E11",
+        figure="Figure 5.11 — total filtering and storage load distribution, two-level algorithms",
+        title="attribute-level vs value-level load, two-level algorithms",
+        columns=[
+            "algorithm",
+            "al_filtering",
+            "vl_filtering",
+            "al_storage",
+            "vl_storage",
+            "filtering_gini",
+            "storage_gini",
+        ],
+        rows=rows,
+        notes=(
+            "DAI-T's evaluators store rewritten queries instead of tuples, "
+            "trading storage shape for the reindex-once traffic win."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E12–E15 — scalability of the filtering-load distribution
+# (Figures 5.12–5.15)
+# ----------------------------------------------------------------------
+
+def _scaling_rows(scale: Scale, *, axis: str, factors, algorithms) -> list[dict]:
+    """Deep-copied rows of the cached scaling sweep."""
+    return copy.deepcopy(
+        _scaling_rows_cached(scale, axis, tuple(factors), tuple(algorithms))
+    )
+
+
+@functools.lru_cache(maxsize=32)
+def _scaling_rows_cached(scale: Scale, axis: str, factors, algorithms) -> list[dict]:
+    rows = []
+    for factor in factors:
+        run_scale = scale.scaled(**{axis: factor})
+        workload = workload_for(run_scale)
+        for algorithm in algorithms:
+            result = run_standard(
+                algorithm, run_scale, config_overrides=_NEUTRAL, workload=workload
+            )
+            load = result.load
+            filtering = load.sorted_filtering()
+            rows.append(
+                {
+                    "factor": factor,
+                    "n_nodes": run_scale.n_nodes,
+                    "n_queries": run_scale.n_queries,
+                    "n_tuples": run_scale.n_tuples,
+                    "algorithm": algorithm,
+                    "mean_filtering": float(filtering.mean()) if filtering.size else 0.0,
+                    "max_filtering": int(filtering[0]) if filtering.size else 0,
+                    "filtering_gini": load.filtering_gini(),
+                    "top1pct_share": load.filtering_top_share(0.01),
+                    "hottest_share": (
+                        float(filtering[0]) / filtering.sum()
+                        if filtering.size and filtering.sum() > 0
+                        else 0.0
+                    ),
+                    "participation": load.filtering_participation(),
+                }
+            )
+    return rows
+
+
+def run_e12(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Filtering-load distribution as the tuple frequency grows."""
+    if scale is None:
+        scale = current_scale()
+    base = scale.scaled(queries=0.5, tuples=0.5)
+    rows = _scaling_rows(
+        base, axis="tuples", factors=(1.0, 2.0, 4.0), algorithms=ALL_ALGORITHMS
+    )
+    return ExperimentResult(
+        experiment="E12",
+        figure="Figure 5.12 — filtering load distribution vs. frequency of incoming tuples",
+        title="scaling the tuple arrival rate",
+        columns=[
+            "factor",
+            "n_tuples",
+            "algorithm",
+            "mean_filtering",
+            "max_filtering",
+            "filtering_gini",
+        ],
+        rows=rows,
+        notes="load grows with the stream rate but its distribution shape is stable.",
+    )
+
+
+def run_e13(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Filtering-load distribution as the number of queries grows."""
+    if scale is None:
+        scale = current_scale()
+    base = scale.scaled(queries=0.35, tuples=0.5)
+    rows = _scaling_rows(
+        base, axis="queries", factors=(1.0, 2.0, 4.0), algorithms=ALL_ALGORITHMS
+    )
+    return ExperimentResult(
+        experiment="E13",
+        figure="Figure 5.13 — filtering load distribution vs. number of indexed queries",
+        title="scaling the number of installed queries",
+        columns=[
+            "factor",
+            "n_queries",
+            "algorithm",
+            "mean_filtering",
+            "max_filtering",
+            "filtering_gini",
+        ],
+        rows=rows,
+        notes="more installed queries mean more candidates per bucket everywhere.",
+    )
+
+
+def run_e14(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Filtering-load distribution as the network grows (fixed workload)."""
+    if scale is None:
+        scale = current_scale()
+    base = scale.scaled(queries=0.5, tuples=0.5, nodes=0.25)
+    rows = _scaling_rows(
+        base, axis="nodes", factors=(1.0, 2.0, 4.0, 8.0), algorithms=ALL_ALGORITHMS
+    )
+    return ExperimentResult(
+        experiment="E14",
+        figure="Figure 5.14 — filtering load distribution vs. network size",
+        title="scaling the network size",
+        columns=[
+            "factor",
+            "n_nodes",
+            "algorithm",
+            "mean_filtering",
+            "max_filtering",
+            "participation",
+        ],
+        rows=rows,
+        notes=(
+            "growing the overlay relieves nodes: new nodes take a share of "
+            "the existing workload, so the per-node mean drops."
+        ),
+    )
+
+
+def run_e15(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Load of the most loaded nodes as the network grows."""
+    if scale is None:
+        scale = current_scale()
+    base = scale.scaled(queries=0.5, tuples=0.5, nodes=0.25)
+    rows = _scaling_rows(
+        base, axis="nodes", factors=(1.0, 2.0, 4.0, 8.0), algorithms=("sai", "dai-t")
+    )
+    for row in rows:
+        del row["mean_filtering"]
+    return ExperimentResult(
+        experiment="E15",
+        figure="Figure 5.15 — filtering load of the most loaded nodes vs. network size",
+        title="the hottest nodes under network growth",
+        columns=[
+            "factor",
+            "n_nodes",
+            "algorithm",
+            "max_filtering",
+            "hottest_share",
+            "filtering_gini",
+        ],
+        rows=rows,
+        notes=(
+            "max_filtering and the hottest node's share of TF shrink as "
+            "nodes join, until the indivisible attribute-level hotspot "
+            "floors them — the residual the replication scheme (E6) removes."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E16 — DAI-V scaling (Figure 5.16)
+# ----------------------------------------------------------------------
+
+def run_e16(scale: Optional[Scale] = None) -> ExperimentResult:
+    """DAI-V filtering distribution under each scaling axis."""
+    if scale is None:
+        scale = current_scale()
+    base = scale.scaled(queries=0.5, tuples=0.5, nodes=0.5)
+    rows = []
+    for axis in ("nodes", "queries", "tuples"):
+        axis_rows = _scaling_rows(
+            base, axis=axis, factors=(1.0, 4.0), algorithms=("dai-v",)
+        )
+        for row in axis_rows:
+            row["axis"] = axis
+            rows.append(row)
+    return ExperimentResult(
+        experiment="E16",
+        figure="Figure 5.16 — DAI-V filtering load distribution vs. network size, queries, tuples",
+        title="DAI-V under each scaling axis",
+        columns=[
+            "axis",
+            "factor",
+            "n_nodes",
+            "n_queries",
+            "n_tuples",
+            "mean_filtering",
+            "max_filtering",
+            "filtering_gini",
+        ],
+        rows=rows,
+        notes=(
+            "DAI-V evaluators are chosen by join value alone, so its "
+            "distribution reacts to the value skew rather than to the "
+            "attribute mix."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E17 — keyed DAI-V traffic blow-up (Section 4.5)
+# ----------------------------------------------------------------------
+
+def run_e17(scale: Optional[Scale] = None) -> ExperimentResult:
+    """DAI-V vs its keyed variant: the cost of losing query grouping."""
+    if scale is None:
+        scale = current_scale()
+    small = scale.scaled(queries=0.4, tuples=0.15)
+    workload = workload_for(small)
+    rows = []
+    baseline_hops = None
+    for keyed in (False, True):
+        result = run_standard(
+            "dai-v",
+            small,
+            config_overrides={**_NEUTRAL, "daiv_keyed": keyed},
+            workload=workload,
+        )
+        hops = result.hops_per_tuple
+        if baseline_hops is None:
+            baseline_hops = hops
+        rows.append(
+            {
+                "variant": "keyed" if keyed else "grouped",
+                "hops_per_tuple": hops,
+                "join_messages": result.stream_traffic.messages_by_type.get("join", 0),
+                "blowup": hops / baseline_hops if baseline_hops else 1.0,
+            }
+        )
+    return ExperimentResult(
+        experiment="E17",
+        figure="Section 4.5 — keyed DAI-V traffic (paper: ~×250 at 10^4 nodes / 10^5 queries)",
+        title="DAI-V: grouped vs keyed reindexing",
+        columns=["variant", "hops_per_tuple", "join_messages", "blowup"],
+        rows=rows,
+        notes=(
+            "prefixing Key(q) to the value spreads load per query but "
+            "destroys grouping: every triggered query needs its own routed "
+            "join message; the blow-up grows with |Q|."
+        ),
+    )
+
+
+#: Registry used by the CLI and the benchmark suite.
+EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+    "E13": run_e13,
+    "E14": run_e14,
+    "E15": run_e15,
+    "E16": run_e16,
+    "E17": run_e17,
+}

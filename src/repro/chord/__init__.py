@@ -1,0 +1,24 @@
+"""Chord DHT substrate (paper Chapter 2).
+
+Consistent hashing onto an ``m``-bit identifier circle, nodes with
+finger tables and successor lists, ring maintenance, and the extended
+routing API (``send`` / ``multisend``) the query-processing algorithms
+are built on.
+"""
+
+from .hashing import ConsistentHash, make_key, DEFAULT_M, KEY_SEPARATOR
+from .idspace import IdentifierSpace
+from .network import ChordNetwork
+from .node import ChordNode
+from .routing import Router
+
+__all__ = [
+    "ChordNetwork",
+    "ChordNode",
+    "ConsistentHash",
+    "IdentifierSpace",
+    "Router",
+    "make_key",
+    "DEFAULT_M",
+    "KEY_SEPARATOR",
+]

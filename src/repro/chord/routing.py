@@ -1,0 +1,273 @@
+"""Routing primitives: ``send`` and ``multisend`` (Section 2.3).
+
+The paper extends the standard Chord API with two functions used by all
+query-processing algorithms:
+
+* ``send(msg, I)`` — deliver ``msg`` to ``Successor(I)`` in
+  ``O(log N)`` hops by greedy finger-table forwarding;
+* ``multisend(msg, L)`` / ``multisend(M, L)`` — deliver messages to the
+  successors of every identifier in ``L``.  The *iterative* variant
+  issues ``k`` independent ``send`` calls from the source; the
+  *recursive* variant sorts ``L`` clockwise and lets the message sweep
+  the ring once, which "has in practice a significantly better
+  performance" (compared experimentally in Figure 5.1 / bench E1).
+
+Every forwarding step is counted as one overlay hop in the shared
+:class:`~repro.sim.stats.TrafficStats`, so all traffic numbers reported
+by the benchmarks come from real routing-table walks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import RoutingError
+from ..sim.messages import Message
+from ..sim.stats import TrafficStats
+from .idspace import IdentifierSpace
+from .node import ChordNode
+
+
+class Router:
+    """Stateless routing engine over a shared identifier space.
+
+    A single router instance serves a whole simulated network; per-node
+    state (fingers, successor lists) lives on the nodes themselves, so
+    routing decisions only use information local to each hop, exactly as
+    the protocol prescribes.
+    """
+
+    def __init__(self, space: IdentifierSpace, stats: TrafficStats | None = None):
+        self.space = space
+        self.stats = stats if stats is not None else TrafficStats()
+        #: Routing gives up after this many hops; on a healthy ring the
+        #: bound is ``O(log N) <= m``, so hitting the limit means the
+        #: ring is broken beyond best-effort repair.
+        self.max_hops = 4 * space.m + 8
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def find_successor(self, start: ChordNode, ident: int) -> tuple[ChordNode, int]:
+        """Locate ``Successor(ident)`` from ``start``; returns (node, hops).
+
+        Implements the forwarding rule of Section 2.3: each node hands
+        the lookup to the farthest finger that does not overshoot
+        ``ident``; the node responsible for ``ident`` keeps it.
+        """
+        current = start
+        hops = 0
+        while True:
+            if current.owns(ident):
+                return current, hops
+            successor = current.successor
+            if successor is current:
+                return current, hops
+            if self.space.in_half_open(ident, current.ident, successor.ident):
+                return successor, hops + 1
+            next_hop = current.closest_preceding_finger(ident)
+            if next_hop is current or not next_hop.alive:
+                next_hop = successor
+            current = next_hop
+            hops += 1
+            if hops > self.max_hops:
+                raise RoutingError(
+                    f"lookup for {ident} from node {start.ident} exceeded "
+                    f"{self.max_hops} hops; ring state is inconsistent"
+                )
+
+    def lookup(self, start: ChordNode, ident: int, *, account: str = "lookup") -> ChordNode:
+        """``find_successor`` that also bills its hops to the stats."""
+        node, hops = self.find_successor(start, ident)
+        self.stats.record_hops(account, hops)
+        return node
+
+    # ------------------------------------------------------------------
+    # send()
+    # ------------------------------------------------------------------
+    def send(self, source: ChordNode, message: Message, ident: int) -> ChordNode:
+        """Deliver ``message`` to ``Successor(ident)``; returns the target.
+
+        Cost ``O(log N)`` overlay hops, all billed to the message type.
+        """
+        target, hops = self.find_successor(source, ident)
+        self.stats.record(message.type, hops)
+        target.deliver(message)
+        return target
+
+    def send_direct(self, source: ChordNode, message: Message, target: ChordNode) -> None:
+        """One-hop delivery to a node whose address is already known.
+
+        Used for notification delivery via a subscriber's IP address
+        (Section 4.6) and by the JFRT optimization (Section 4.7.1).
+        ``source`` may equal ``target`` (zero hops).
+        """
+        hops = 0 if source is target else 1
+        self.stats.record(message.type, hops)
+        target.deliver(message)
+
+    # ------------------------------------------------------------------
+    # multisend()
+    # ------------------------------------------------------------------
+    def multisend(
+        self,
+        source: ChordNode,
+        messages: Sequence[Message] | Message,
+        idents: Sequence[int],
+        *,
+        recursive: bool = True,
+    ) -> list[ChordNode]:
+        """Deliver ``messages[j]`` to ``Successor(idents[j])`` for all j.
+
+        ``messages`` may be a single message (the ``multisend(msg, L)``
+        form) or one message per identifier (the ``multisend(M, L)``
+        form).  Returns the recipient node per identifier, in the order
+        of ``idents``.
+        """
+        message_list = self._pair_messages(messages, idents)
+        if recursive:
+            return self._multisend_recursive(source, message_list, idents)
+        return self._multisend_iterative(source, message_list, idents)
+
+    @staticmethod
+    def _pair_messages(
+        messages: Sequence[Message] | Message, idents: Sequence[int]
+    ) -> list[Message]:
+        if isinstance(messages, Message):
+            return [messages] * len(idents)
+        if len(messages) != len(idents):
+            raise ValueError(
+                f"multisend(M, L) requires |M| == |L|; "
+                f"got {len(messages)} messages for {len(idents)} identifiers"
+            )
+        return list(messages)
+
+    def _multisend_iterative(
+        self, source: ChordNode, messages: list[Message], idents: Sequence[int]
+    ) -> list[ChordNode]:
+        """The obvious implementation: ``k`` independent sends.
+
+        Kept "for comparison purposes" (Section 2.3); bench E1 measures
+        it against the recursive variant.
+        """
+        return [self.send(source, message, ident) for message, ident in zip(messages, idents)]
+
+    def _multisend_recursive(
+        self, source: ChordNode, messages: list[Message], idents: Sequence[int]
+    ) -> list[ChordNode]:
+        """Single clockwise sweep delivering every message (Section 2.3).
+
+        The source sorts the identifiers clockwise from its own
+        position.  The batch travels toward the head of the list; every
+        node that turns out to be responsible for the head strips all
+        identifiers it owns, delivers their messages, and forwards the
+        remainder to the successor of the new head.
+        """
+        if not idents:
+            return []
+        order = self.space.sort_clockwise(source.ident, list(idents))
+        pending: dict[int, list[int]] = {}
+        for position, ident in enumerate(idents):
+            pending.setdefault(ident, []).append(position)
+        queue = list(order)
+        targets: list[ChordNode | None] = [None] * len(idents)
+
+        current = source
+        total_hops = 0
+        while queue:
+            head = queue[0]
+            responsible, hops = self._walk(current, head)
+            total_hops += hops
+            # The responsible node strips every identifier it owns; they
+            # are consecutive at the front of the clockwise-sorted list.
+            while queue and responsible.owns(queue[0]):
+                ident = queue.pop(0)
+                for position in pending[ident]:
+                    if targets[position] is None:
+                        targets[position] = responsible
+                        responsible.deliver(messages[position])
+                        break
+            current = responsible
+        self._record_mixed_batch(messages, total_hops)
+        return [target if target is not None else current for target in targets]
+
+    def _record_mixed_batch(self, messages: list[Message], total_hops: int) -> None:
+        """Attribute a shared routing path to each message type.
+
+        A tuple insertion ships ``al-index`` and ``vl-index`` messages
+        in one recursive sweep; the sweep's hops are split between the
+        types in proportion to their message counts so per-type traffic
+        stays meaningful.
+        """
+        type_counts: dict[str, int] = {}
+        for message in messages:
+            type_counts[message.type] = type_counts.get(message.type, 0) + 1
+        total_messages = len(messages)
+        remaining = total_hops
+        for index, (message_type, count) in enumerate(type_counts.items()):
+            if index == len(type_counts) - 1:
+                share = remaining
+            else:
+                share = round(total_hops * count / total_messages)
+                remaining -= share
+            self.stats.record_batch(message_type, count, share)
+
+    def _walk(self, start: ChordNode, ident: int) -> tuple[ChordNode, int]:
+        """Forward from ``start`` until the owner of ``ident`` is reached.
+
+        Unlike :meth:`find_successor` this counts the final handover to
+        the responsible node as a hop only if the walk actually moves,
+        which is exactly what a recursive (message-carrying) traversal
+        costs.
+        """
+        current = start
+        hops = 0
+        while not current.owns(ident):
+            successor = current.successor
+            if successor is current:
+                break
+            if self.space.in_half_open(ident, current.ident, successor.ident):
+                current = successor
+                hops += 1
+                break
+            next_hop = current.closest_preceding_finger(ident)
+            if next_hop is current or not next_hop.alive:
+                next_hop = successor
+            current = next_hop
+            hops += 1
+            if hops > self.max_hops:
+                raise RoutingError(
+                    f"multisend walk toward {ident} exceeded {self.max_hops} hops"
+                )
+        return current, hops
+
+
+def multisend_cost(
+    router: Router,
+    source: ChordNode,
+    idents: Iterable[int],
+    *,
+    recursive: bool,
+) -> int:
+    """Measure the hop cost of a ``multisend`` without side effects.
+
+    Helper for bench E1: routes a no-op message batch and returns the
+    hops it consumed (read off the router's stats delta).
+    """
+    before = router.stats.snapshot()
+    probe = Message()
+
+    class _Sink:
+        @staticmethod
+        def handler(node: ChordNode, message: Message) -> None:
+            del node, message
+
+    ident_list = list(idents)
+    seen: set[int] = set()
+    for ident in ident_list:
+        target, _ = router.find_successor(source, ident)
+        if id(target) not in seen:
+            seen.add(id(target))
+            target.register_handler(probe.type, _Sink.handler)
+    router.multisend(source, probe, ident_list, recursive=recursive)
+    return router.stats.since(before).hops

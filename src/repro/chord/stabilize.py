@@ -1,0 +1,83 @@
+"""Chord ring maintenance: stabilize, notify, fix fingers (Section 2.2).
+
+"Every node runs a stabilization algorithm periodically to learn about
+nodes that have recently joined the network [...]  Each node n
+periodically runs two additional algorithms to check that its finger
+table and predecessor pointer is correct."
+
+These functions are deliberately free functions over
+:class:`~repro.chord.node.ChordNode` so they can be unit-tested without
+a network and scheduled by the simulator as periodic events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .node import ChordNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .routing import Router
+
+#: Per-node cursor for round-robin finger refresh, keyed by node id.
+_finger_cursor: dict[int, int] = {}
+
+
+def stabilize(node: ChordNode) -> None:
+    """One stabilization step for ``node``.
+
+    Ask the successor for its predecessor ``p``; if ``p`` has slipped in
+    between, adopt it as the new successor.  Then notify the successor
+    of our existence and refresh the successor list.
+    """
+    if not node.alive:
+        return
+    successor = node.successor
+    if successor is node:
+        return
+    candidate = successor.predecessor
+    if (
+        candidate is not None
+        and candidate is not node
+        and candidate.alive
+        and node.space.in_open(candidate.ident, node.ident, successor.ident)
+    ):
+        node.set_successor(candidate)
+        successor = candidate
+    notify(successor, node)
+    node.refresh_successor_list()
+
+
+def notify(node: ChordNode, candidate: ChordNode) -> None:
+    """``candidate`` tells ``node`` it might be its predecessor."""
+    if node is candidate or not candidate.alive:
+        return
+    current = node.predecessor
+    if (
+        current is None
+        or not current.alive
+        or current is node
+        or node.space.in_open(candidate.ident, current.ident, node.ident)
+    ):
+        node.predecessor = candidate
+
+
+def check_predecessor(node: ChordNode) -> None:
+    """Drop the predecessor pointer if that node has failed."""
+    if node.predecessor is not None and not node.predecessor.alive:
+        node.predecessor = None
+
+
+def fix_finger(node: ChordNode, index: int, router: "Router") -> None:
+    """Recompute finger ``index`` with a routed lookup."""
+    if not node.alive:
+        return
+    target, _ = router.find_successor(node, node.finger_start(index))
+    node.fingers[index] = target
+
+
+def fix_next_finger(node: ChordNode, router: "Router") -> None:
+    """Refresh one finger per call, round-robin (the protocol's pacing)."""
+    cursor = _finger_cursor.get(id(node), 0)
+    fix_finger(node, cursor, router)
+    _finger_cursor[id(node)] = (cursor + 1) % node.space.m

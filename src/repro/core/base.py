@@ -1,0 +1,497 @@
+"""Shared machinery of the four query-processing algorithms (Chapter 4).
+
+All algorithms follow the same two-level template:
+
+1. a query is indexed at the **attribute level** (one side for SAI,
+   both sides for the DAI family) and waits at rewriter nodes;
+2. every incoming tuple is indexed at the attribute level (and, except
+   under DAI-V, at the value level too);
+3. a rewriter receiving a tuple triggers, rewrites and reindexes the
+   stored queries toward **value-level** evaluators;
+4. evaluators combine rewritten queries with tuples to create
+   notifications — *when* they do so is exactly what distinguishes
+   SAI / DAI-Q / DAI-T / DAI-V.
+
+This module implements the template; the algorithm classes override the
+evaluator placement and the value-level behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..chord.hashing import make_key
+from ..chord.node import ChordNode
+from ..errors import QueryError
+from ..sim.messages import (
+    ALIndexMessage,
+    JoinMessage,
+    QueryIndexMessage,
+    VLIndexMessage,
+)
+from ..sim.stats import NodeLoad
+from ..sql.query import JoinQuery, RewrittenQuery, rewrite
+from ..sql.tuples import DataTuple, ProjectedTuple
+from ..sql.expr import attributes_of, canonical_value
+from .index_choice import ArrivalStats
+from .jfrt import JoinFingersRoutingTable
+from .notifications import Notification
+from .tables import (
+    AttributeLevelQueryTable,
+    ProjectionStore,
+    QueryGroup,
+    StoredQuery,
+    ValueLevelQueryTable,
+    ValueLevelTupleTable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ContinuousQueryEngine
+
+
+@dataclass
+class StorageBreakdown:
+    """Per-node storage-load split by role (rewriter vs evaluator)."""
+
+    attribute_level: int
+    value_level: int
+    parked_notifications: int
+
+    @property
+    def total(self) -> int:
+        return self.attribute_level + self.value_level + self.parked_notifications
+
+
+class NodeState:
+    """Per-node application state attached to ``ChordNode.app``."""
+
+    def __init__(self, node: ChordNode, jfrt_capacity: int = 0):
+        self.node = node
+        self.alqt = AttributeLevelQueryTable()
+        self.vlqt = ValueLevelQueryTable()
+        self.vltt = ValueLevelTupleTable()
+        self.projections = ProjectionStore()
+        #: Notifications parked for offline subscribers, keyed by
+        #: subscriber identifier (routing identifier for handoff).
+        self.parked: dict[int, list[Notification]] = {}
+        #: Notifications delivered to this node as a subscriber.
+        self.inbox: list[Notification] = []
+        self.load = NodeLoad()
+        #: Tuple-arrival statistics per (relation, attribute) — kept by
+        #: rewriters for the index-attribute-choice probes (§4.3.6).
+        self.arrivals: dict[tuple[str, str], ArrivalStats] = {}
+        self.jfrt: Optional[JoinFingersRoutingTable] = (
+            JoinFingersRoutingTable(jfrt_capacity) if jfrt_capacity > 0 else None
+        )
+        #: Identities of notifications already emitted by this node (the
+        #: set semantics of answers; bookkeeping, not storage load).
+        self.emitted: set[tuple[str, str, tuple]] = set()
+
+    def storage_breakdown(self) -> StorageBreakdown:
+        """Storage load of this node, split by indexing level."""
+        parked = sum(len(batch) for batch in self.parked.values())
+        return StorageBreakdown(
+            attribute_level=len(self.alqt),
+            value_level=len(self.vlqt) + len(self.vltt) + len(self.projections),
+            parked_notifications=parked,
+        )
+
+    def evict_expired(self, cutoff: float) -> int:
+        """Sliding-window eviction of value-level state."""
+        return (
+            self.vlqt.evict_older_than(cutoff)
+            + self.vltt.evict_older_than(cutoff)
+            + self.projections.evict_older_than(cutoff)
+        )
+
+    def transfer_to(self, other: "NodeState", should_move) -> int:
+        """Move items whose routing identifier satisfies ``should_move``.
+
+        Implements the application side of Chord key handoff on node
+        join (partial transfer) and voluntary leave (full transfer).
+        """
+        moved = 0
+        for stored_query in self.alqt.pop_matching(should_move):
+            other.alqt.add(stored_query)
+            moved += 1
+        for stored_rewritten in self.vlqt.pop_matching(should_move):
+            other.vlqt.insert_entry(stored_rewritten)
+            moved += 1
+        for stored_tuple in self.vltt.pop_matching(should_move):
+            other.vltt.add(stored_tuple)
+            moved += 1
+        for stored_projection in self.projections.pop_matching(should_move):
+            other.projections.add(stored_projection)
+            moved += 1
+        for subscriber_ident in list(self.parked):
+            if should_move(subscriber_ident):
+                batch = self.parked.pop(subscriber_ident)
+                other.parked.setdefault(subscriber_ident, []).extend(batch)
+                moved += len(batch)
+        return moved
+
+
+def index_side_needed_attributes(query: JoinQuery, label: str) -> tuple[str, ...]:
+    """Attributes of side ``label`` a DAI-V projection must carry.
+
+    The projection of a trigger tuple must later satisfy rewritten
+    queries of the *opposite* side, which need this side's select
+    attributes, join-expression attributes and filter attributes.
+    """
+    side = query.side(label)
+    needed = {ref.attribute for ref in query.select if ref.relation == side.relation}
+    needed.update(ref.attribute for ref in attributes_of(side.expr))
+    needed.update(f.attribute for f in side.filters)
+    return tuple(sorted(needed))
+
+
+class Algorithm:
+    """Template base class for SAI, DAI-Q, DAI-T and DAI-V."""
+
+    #: Short name used in configuration and reports.
+    name = "base"
+    #: Whether the algorithm can evaluate type-T2 queries (only DAI-V).
+    supports_t2 = False
+    #: Whether tuples are indexed at the value level (all but DAI-V).
+    indexes_tuples_at_value_level = True
+
+    # ------------------------------------------------------------------
+    # Query indexing
+    # ------------------------------------------------------------------
+    def validate_query(self, query: JoinQuery) -> None:
+        """Reject queries the algorithm cannot evaluate."""
+        if query.query_type == "T2" and not self.supports_t2:
+            raise QueryError(
+                f"{self.name} only supports type-T1 queries (both join "
+                f"sides must be single attributes); use DAI-V for "
+                f"{query.key or query!s}"
+            )
+
+    def index_labels(
+        self, engine: "ContinuousQueryEngine", origin: ChordNode, query: JoinQuery
+    ) -> list[str]:
+        """Which side(s) the query is indexed under."""
+        raise NotImplementedError
+
+    def index_query(
+        self, engine: "ContinuousQueryEngine", origin: ChordNode, query: JoinQuery
+    ) -> None:
+        """Route ``query(q, Id(n), IP(n))`` messages to the rewriter(s).
+
+        With attribute-level replication the query is stored at every
+        replica so that no replica misses a triggering tuple.
+        """
+        self.validate_query(query)
+        idents: list[int] = []
+        messages: list[QueryIndexMessage] = []
+        for label in self.index_labels(engine, origin, query):
+            side = query.side(label)
+            attribute = query.index_attribute(label)
+            for ident in engine.replication.rewriter_identifiers(
+                engine.network.hash, side.relation, attribute
+            ):
+                idents.append(ident)
+                messages.append(
+                    QueryIndexMessage(query=query, index_side=label, routing_ident=ident)
+                )
+        router = engine.network.router
+        if len(idents) == 1:
+            router.send(origin, messages[0], idents[0])
+        else:
+            router.multisend(
+                origin, messages, idents, recursive=engine.config.recursive_multisend
+            )
+
+    def on_query(
+        self, engine: "ContinuousQueryEngine", node: ChordNode, msg: QueryIndexMessage
+    ) -> None:
+        """Rewriter stores the query in its ALQT (Section 4.3.1)."""
+        state = engine.state(node)
+        state.load.messages_processed += 1
+        state.alqt.add(StoredQuery(msg.query, msg.index_side, msg.routing_ident))
+
+    # ------------------------------------------------------------------
+    # Tuple indexing (Section 4.2)
+    # ------------------------------------------------------------------
+    def index_tuple(
+        self, engine: "ContinuousQueryEngine", origin: ChordNode, tup: DataTuple
+    ) -> None:
+        """Send the ``al-index``/``vl-index`` messages for every attribute.
+
+        One ``multisend`` ships the full set (``2h`` identifiers, or
+        ``h`` under DAI-V which skips the value level).
+        """
+        relation = tup.relation
+        idents: list[int] = []
+        messages: list[Any] = []
+        for attribute in relation.attributes:
+            a_ident = engine.replication.pick_identifier(
+                engine.network.hash, relation.name, attribute, engine.rng
+            )
+            idents.append(a_ident)
+            messages.append(ALIndexMessage(tuple=tup, index_attribute=attribute))
+            if self.indexes_tuples_at_value_level:
+                v_ident = engine.network.hash(
+                    make_key(relation.name, attribute, canonical_value(tup.value(attribute)))
+                )
+                idents.append(v_ident)
+                messages.append(VLIndexMessage(tuple=tup, index_attribute=attribute))
+        engine.network.router.multisend(
+            origin, messages, idents, recursive=engine.config.recursive_multisend
+        )
+
+    # ------------------------------------------------------------------
+    # Attribute level: trigger, rewrite, reindex (Section 4.3.2)
+    # ------------------------------------------------------------------
+    def on_al_index(
+        self, engine: "ContinuousQueryEngine", node: ChordNode, msg: ALIndexMessage
+    ) -> None:
+        state = engine.state(node)
+        state.load.messages_processed += 1
+        tup = msg.tuple
+        relation = tup.relation.name
+        attribute = msg.index_attribute
+        stats = state.arrivals.setdefault((relation, attribute), ArrivalStats())
+        stats.record(tup.value(attribute))
+
+        groups = state.alqt.groups_for(relation, attribute)
+        if not groups:
+            return
+        state.load.add_attribute_level(sum(len(group) for group in groups))
+
+        batches: dict[int, tuple[list[RewrittenQuery], list[Any]]] = {}
+        sent_by_group: list[tuple[QueryGroup, list[str]]] = []
+        for group in groups:
+            sent_keys = self._rewrite_group(engine, state, group, tup, batches)
+            if sent_keys:
+                sent_by_group.append((group, sent_keys))
+        if batches:
+            self._dispatch_join_batches(engine, node, batches)
+            for group, keys in sent_by_group:
+                group.sent_rewritten_keys.update(keys)
+
+    def _rewrite_group(
+        self,
+        engine: "ContinuousQueryEngine",
+        state: NodeState,
+        group: QueryGroup,
+        tup: DataTuple,
+        batches: dict[int, tuple[list[RewrittenQuery], list[Any]]],
+    ) -> list[str]:
+        """Trigger one query group with ``tup``; fill evaluator batches.
+
+        Returns the rewritten keys to remember as "sent" (DAI-T only).
+        """
+        sent_keys: list[str] = []
+        seen_keys: set[str] = set()
+        projection: Optional[ProjectedTuple] = None
+        for entry in group.entries:
+            query = entry.query
+            side = query.side(entry.index_label)
+            if tup.pub_time < query.insertion_time:
+                continue
+            if not side.accepts(tup):
+                continue
+            rewritten = rewrite(query, entry.index_label, tup)
+            if rewritten.key in seen_keys:
+                continue
+            seen_keys.add(rewritten.key)
+            if self._skip_already_sent(engine, group, rewritten):
+                continue
+            ident = self.evaluator_ident(engine, rewritten)
+            rewritten_list, projection_list = batches.setdefault(ident, ([], []))
+            rewritten_list.append(rewritten)
+            if self.wants_projection:
+                if projection is None:
+                    projection = self._group_projection(group, tup)
+                projection_list.append(projection)
+            sent_keys.append(rewritten.key)
+        return sent_keys if self.remembers_sent_keys(engine) else []
+
+    @staticmethod
+    def _group_projection(group: QueryGroup, tup: DataTuple) -> ProjectedTuple:
+        """Project the trigger tuple for a whole query group (DAI-V).
+
+        The stored projection must later satisfy the opposite-side
+        rewritten queries of *every* query in the group, whose select
+        lists can differ, so it carries the union of their needs.
+        (Queries subscribed later never match: a pair involving this
+        tuple and a younger query fails the ``pubT >= insT`` rule.)
+        """
+        needed: set[str] = set()
+        for entry in group.entries:
+            needed.update(
+                index_side_needed_attributes(entry.query, entry.index_label)
+            )
+        return tup.project(tuple(sorted(needed)))
+
+    # Hooks specialized by the algorithms -------------------------------
+    #: DAI-V ships a projected trigger tuple with every rewritten query.
+    wants_projection = False
+
+    def remembers_sent_keys(self, engine: "ContinuousQueryEngine") -> bool:
+        """DAI-T's never-resend optimization (see its docstring)."""
+        return False
+
+    def _skip_already_sent(
+        self,
+        engine: "ContinuousQueryEngine",
+        group: QueryGroup,
+        rewritten: RewrittenQuery,
+    ) -> bool:
+        if not self.remembers_sent_keys(engine):
+            return False
+        return rewritten.key in group.sent_rewritten_keys
+
+    def evaluator_ident(
+        self, engine: "ContinuousQueryEngine", rewritten: RewrittenQuery
+    ) -> int:
+        """The value-level identifier a rewritten query is sent to."""
+        raise NotImplementedError
+
+    def _dispatch_join_batches(
+        self,
+        engine: "ContinuousQueryEngine",
+        node: ChordNode,
+        batches: dict[int, tuple[list[RewrittenQuery], list[Any]]],
+    ) -> None:
+        """Ship one ``join()`` message per evaluator (grouping, §4.3.5).
+
+        Identifiers with a valid JFRT entry are served in one hop; the
+        rest travel in a single recursive ``multisend`` whose answers
+        refresh the JFRT.
+        """
+        state = engine.state(node)
+        router = engine.network.router
+        routed_idents: list[int] = []
+        routed_messages: list[JoinMessage] = []
+        for ident, (rewritten_list, projection_list) in batches.items():
+            message = JoinMessage(
+                rewritten=tuple(rewritten_list), projections=tuple(projection_list)
+            )
+            cached = state.jfrt.lookup(ident) if state.jfrt is not None else None
+            if cached is not None:
+                router.send_direct(node, message, cached)
+            else:
+                routed_idents.append(ident)
+                routed_messages.append(message)
+        if routed_idents:
+            targets = router.multisend(
+                node,
+                routed_messages,
+                routed_idents,
+                recursive=engine.config.recursive_multisend,
+            )
+            if state.jfrt is not None:
+                for ident, target in zip(routed_idents, targets):
+                    state.jfrt.learn(ident, target)
+
+    # ------------------------------------------------------------------
+    # Value level (specialized per algorithm)
+    # ------------------------------------------------------------------
+    def on_vl_index(
+        self, engine: "ContinuousQueryEngine", node: ChordNode, msg: VLIndexMessage
+    ) -> None:
+        raise NotImplementedError
+
+    def on_join(
+        self, engine: "ContinuousQueryEngine", node: ChordNode, msg: JoinMessage
+    ) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared value-level helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _within_window(
+        engine: "ContinuousQueryEngine", time_a: float, time_b: float
+    ) -> bool:
+        """Sliding-window check between the two contributing times.
+
+        A pair joins only when its publication times are at most one
+        window apart; the check is symmetric because either side may
+        have been stored first.
+        """
+        window = engine.config.window
+        if window is None:
+            return True
+        return abs(time_b - time_a) <= window
+
+    def _emit(
+        self,
+        engine: "ContinuousQueryEngine",
+        state: NodeState,
+        rewritten: RewrittenQuery,
+        match,
+        trigger_time: float,
+    ) -> Optional[Notification]:
+        """Create one notification unless its identity was already emitted."""
+        row = rewritten.result_row(match)
+        identity = (rewritten.original_key, repr(rewritten.required_value), row)
+        if identity in state.emitted:
+            return None
+        state.emitted.add(identity)
+        state.load.notifications_created += 1
+        return Notification(
+            query_key=rewritten.original_key,
+            subscriber_ident=rewritten.subscriber.ident,
+            row=row,
+            join_value_repr=repr(rewritten.required_value),
+            trigger_pub_time=trigger_time,
+            match_pub_time=match.pub_time,
+            created_at=engine.clock.now,
+        )
+
+    def _match_rewritten_against_tuples(
+        self,
+        engine: "ContinuousQueryEngine",
+        state: NodeState,
+        rewritten: RewrittenQuery,
+    ) -> list[Notification]:
+        """Evaluate one rewritten query against the local VLTT."""
+        candidates = state.vltt.candidates(
+            rewritten.relation, rewritten.dis_attribute or "", rewritten.dis_value
+        )
+        state.load.add_value_level(len(candidates))
+        notifications = []
+        for stored in candidates:
+            if not self._within_window(
+                engine, stored.tuple.pub_time, rewritten.trigger_pub_time
+            ):
+                continue
+            if not rewritten.matches(stored.tuple, check_value=False):
+                continue
+            notification = self._emit(
+                engine, state, rewritten, stored.tuple, rewritten.trigger_pub_time
+            )
+            if notification is not None:
+                notifications.append(notification)
+        return notifications
+
+    def _match_tuple_against_rewritten(
+        self,
+        engine: "ContinuousQueryEngine",
+        state: NodeState,
+        tup: DataTuple,
+        attribute: str,
+    ) -> list[Notification]:
+        """Evaluate an arriving tuple against the local VLQT."""
+        candidates = state.vlqt.candidates(
+            tup.relation.name, attribute, tup.value(attribute)
+        )
+        state.load.add_value_level(len(candidates))
+        notifications = []
+        for entry in candidates:
+            if not self._within_window(
+                engine, entry.latest_trigger_time, tup.pub_time
+            ):
+                continue
+            if not entry.rewritten.matches(tup, check_value=False):
+                continue
+            notification = self._emit(
+                engine, state, entry.rewritten, tup, entry.latest_trigger_time
+            )
+            if notification is not None:
+                notifications.append(notification)
+        return notifications

@@ -1,0 +1,364 @@
+"""The continuous-query engine: algorithms wired onto a Chord network.
+
+:class:`ContinuousQueryEngine` is the public entry point of the
+library.  It attaches per-node state to every node of a
+:class:`~repro.chord.network.ChordNetwork`, registers the protocol
+message handlers, and exposes the operations of the paper's system
+model (Section 3.1): any node can **subscribe** continuous queries and
+**publish** tuples; the network cooperates to deliver notifications.
+
+Typical use::
+
+    network = ChordNetwork.build(256)
+    engine = ContinuousQueryEngine(network, EngineConfig(algorithm="dai-t"))
+    node = network.nodes[0]
+    query = engine.subscribe(node, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+    engine.publish(network.nodes[1], relation_r, {"A": 1, "B": 7})
+    engine.publish(network.nodes[2], relation_s, {"D": 2, "E": 7})
+    engine.notifications(node)   # -> one notification, row (1, 2)
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from ..chord.network import ChordNetwork
+from ..chord.node import ChordNode
+from ..errors import QueryError
+from ..sim.clock import LogicalClock
+from ..sim.messages import NotificationMessage, UnsubscribeMessage
+from ..sql.parser import parse_query
+from ..sql.query import JoinQuery, Subscriber
+from ..sql.schema import Relation, Schema
+from ..sql.tuples import DataTuple
+from .base import Algorithm, NodeState
+from .dai_q import DAIQuery
+from .dai_t import DAITuple
+from .dai_v import DAIValue
+from .index_choice import make_strategy
+from .metrics import LoadSnapshot, snapshot
+from .notifications import Notification, group_by_subscriber
+from .replication import ReplicationScheme
+from .sai import SingleAttributeIndex
+
+#: Registry of the four algorithms by configuration name.
+ALGORITHMS: dict[str, type[Algorithm]] = {
+    SingleAttributeIndex.name: SingleAttributeIndex,
+    DAIQuery.name: DAIQuery,
+    DAITuple.name: DAITuple,
+    DAIValue.name: DAIValue,
+}
+
+
+def make_algorithm(name: str) -> Algorithm:
+    """Instantiate an algorithm by name (``sai``, ``dai-q``, ``dai-t``,
+    ``dai-v``)."""
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        raise QueryError(
+            f"unknown algorithm {name!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+
+
+@dataclass
+class EngineConfig:
+    """Tunable behaviour of the engine.
+
+    Defaults reproduce the paper's baseline setting: SAI with the
+    min-rate index-attribute choice, no replication, no JFRT, unbounded
+    window, recursive ``multisend``.
+    """
+
+    algorithm: str = "sai"
+    #: SAI index-attribute strategy: random | min-rate | max-rate | uniformity.
+    index_choice: str = "min-rate"
+    #: Attribute-level rewriter replication factor (Section 4.7.2); 1 = off.
+    replication_factor: int = 1
+    #: JFRT capacity per rewriter (Section 4.7.1); 0 disables the cache.
+    jfrt_capacity: int = 0
+    #: Sliding window over tuple publication times; ``None`` = unbounded.
+    window: Optional[float] = None
+    #: Use the recursive multisend (Section 2.3); False = iterative.
+    recursive_multisend: bool = True
+    #: DAI-V keyed variant (``Hash(Key(q) + valJC)``, Section 4.5 end).
+    daiv_keyed: bool = False
+    seed: int = 0
+
+
+class ContinuousQueryEngine:
+    """Continuous two-way equi-join processing over a Chord overlay."""
+
+    def __init__(
+        self,
+        network: ChordNetwork,
+        config: EngineConfig | None = None,
+        clock: LogicalClock | None = None,
+    ):
+        self.network = network
+        self.config = config if config is not None else EngineConfig()
+        self.clock = clock if clock is not None else LogicalClock()
+        self.rng = random.Random(self.config.seed)
+        self.algorithm = make_algorithm(self.config.algorithm)
+        self.replication = ReplicationScheme(self.config.replication_factor)
+        self.index_choice = make_strategy(self.config.index_choice)
+        self._query_counter = itertools.count()
+        #: Queries by key, as bound at subscription time.
+        self.queries: dict[str, JoinQuery] = {}
+        #: Subscriber node by identifier, for direct delivery.
+        self._subscriber_nodes: dict[int, ChordNode] = {}
+        #: Online/offline presence per subscriber identifier.
+        self._presence: dict[int, bool] = {}
+        #: Notifications by query key, in delivery order.
+        self.delivered: dict[str, list[Notification]] = {}
+        self._delivered_identities: dict[str, set] = {}
+        #: Notifications whose identity had already been delivered
+        #: (should stay 0; tracked for the duplicate-avoidance claims).
+        self.duplicate_deliveries = 0
+        #: Callbacks fired on first delivery of each answer identity,
+        #: keyed by query key (used by the multiway-join pipeline).
+        self._notification_listeners: dict[str, list] = {}
+
+        for node in network:
+            self.adopt(node)
+        network.transfer_hook = self._transfer
+
+    # ------------------------------------------------------------------
+    # Node state management
+    # ------------------------------------------------------------------
+    def adopt(self, node: ChordNode) -> NodeState:
+        """Attach engine state and protocol handlers to a node."""
+        if isinstance(node.app, NodeState):
+            return node.app
+        state = NodeState(node, self.config.jfrt_capacity)
+        node.app = state
+        algorithm = self.algorithm
+        node.register_handler(
+            "query", lambda n, m: algorithm.on_query(self, n, m)
+        )
+        node.register_handler(
+            "al-index", lambda n, m: algorithm.on_al_index(self, n, m)
+        )
+        node.register_handler(
+            "vl-index", lambda n, m: algorithm.on_vl_index(self, n, m)
+        )
+        node.register_handler(
+            "join", lambda n, m: algorithm.on_join(self, n, m)
+        )
+        node.register_handler("notification", self._on_notification)
+        node.register_handler("unsubscribe", self._on_unsubscribe)
+        return state
+
+    def state(self, node: ChordNode) -> NodeState:
+        """The engine state of ``node`` (attaching it if needed)."""
+        if isinstance(node.app, NodeState):
+            return node.app
+        return self.adopt(node)
+
+    def _transfer(self, source: ChordNode, target: ChordNode) -> None:
+        """Chord key handoff: move application items between nodes.
+
+        The network arranges for ``target`` to already own the moved
+        range when the hook fires (both on join and on voluntary
+        leave), so ownership is the single predicate needed.
+        """
+        self.state(source).transfer_to(self.state(target), target.owns)
+
+    # ------------------------------------------------------------------
+    # Public operations (system model, Section 3.1)
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        origin: ChordNode,
+        query: Union[str, JoinQuery],
+        schema: Optional[Schema] = None,
+    ) -> JoinQuery:
+        """Pose a continuous query from ``origin``; returns the bound query.
+
+        ``query`` may be SQL text (parsed against ``schema`` when
+        given) or an already built :class:`~repro.sql.query.JoinQuery`.
+        The query key is ``Key(n)`` concatenated with a positive
+        integer (Section 3.2).
+        """
+        if isinstance(query, str):
+            query = parse_query(query, schema)
+        key = f"{origin.key}#{next(self._query_counter)}"
+        bound = query.with_subscription(
+            key,
+            self.clock.now,
+            Subscriber(origin.key, origin.ident, origin.ip),
+        )
+        self.queries[key] = bound
+        self._subscriber_nodes[origin.ident] = origin
+        self._presence.setdefault(origin.ident, True)
+        self.delivered.setdefault(key, [])
+        self._delivered_identities.setdefault(key, set())
+        self.algorithm.index_query(self, origin, bound)
+        return bound
+
+    def publish(
+        self,
+        origin: ChordNode,
+        relation: Relation,
+        values: Mapping[str, Any],
+    ) -> DataTuple:
+        """Insert a tuple from ``origin`` (``pubT`` = current time)."""
+        tup = DataTuple.make(relation, values, pub_time=self.clock.now)
+        self.algorithm.index_tuple(self, origin, tup)
+        return tup
+
+    def unsubscribe(self, origin: ChordNode, query: JoinQuery) -> None:
+        """Best-effort removal of a query from its rewriter(s).
+
+        Attribute-level copies are removed; value-level rewritten
+        queries created earlier stay inert (their notifications are
+        suppressed at delivery) and age out with the window, mirroring
+        the paper's best-effort semantics.
+        """
+        if query.key not in self.queries:
+            raise QueryError(f"unknown query {query.key!r}")
+        del self.queries[query.key]
+        message = UnsubscribeMessage(query_key=query.key)
+        for label in self.algorithm.index_labels(self, origin, query):
+            side = query.side(label)
+            attribute = query.index_attribute(label)
+            for ident in self.replication.rewriter_identifiers(
+                self.network.hash, side.relation, attribute
+            ):
+                self.network.router.send(origin, message, ident)
+
+    # ------------------------------------------------------------------
+    # Presence / notification plumbing
+    # ------------------------------------------------------------------
+    def go_offline(self, node: ChordNode) -> None:
+        """The subscriber stops accepting direct deliveries; further
+        notifications are routed to ``Successor(Id(n))`` and parked."""
+        self._presence[node.ident] = False
+
+    def come_online(self, node: ChordNode) -> list[Notification]:
+        """Resume deliveries and collect notifications parked locally
+        (Chord key handoff has already moved them here on rejoin)."""
+        self._presence[node.ident] = True
+        self._subscriber_nodes[node.ident] = node
+        state = self.state(node)
+        parked = state.parked.pop(node.ident, [])
+        for notification in parked:
+            state.inbox.append(notification)
+            self._record_delivery(state, notification)
+        return parked
+
+    def is_online(self, ident: int) -> bool:
+        return self._presence.get(ident, False)
+
+    def deliver_notifications(
+        self, from_node: ChordNode, notifications: Iterable[Notification]
+    ) -> None:
+        """Ship notifications to their subscribers (Section 4.6)."""
+        for subscriber_ident, batch in group_by_subscriber(notifications).items():
+            live = [n for n in batch if n.query_key in self.queries]
+            if not live:
+                continue
+            message = NotificationMessage(
+                notifications=tuple(live), subscriber_ident=subscriber_ident
+            )
+            target = self._subscriber_nodes.get(subscriber_ident)
+            if (
+                target is not None
+                and target.alive
+                and self._presence.get(subscriber_ident, False)
+            ):
+                self.network.router.send_direct(from_node, message, target)
+            else:
+                self.network.router.send(from_node, message, subscriber_ident)
+
+    def _on_notification(self, node: ChordNode, msg: NotificationMessage) -> None:
+        state = self.state(node)
+        if node.ident == msg.subscriber_ident and self._presence.get(
+            msg.subscriber_ident, False
+        ):
+            for notification in msg.notifications:
+                state.inbox.append(notification)
+                self._record_delivery(state, notification)
+        else:
+            state.parked.setdefault(msg.subscriber_ident, []).extend(
+                msg.notifications
+            )
+
+    def add_notification_listener(self, query_key: str, callback) -> None:
+        """Invoke ``callback(notification)`` on each *new* answer identity.
+
+        Listeners see every distinct answer exactly once, in delivery
+        order — the reactive hook the multiway-join pipeline builds on.
+        """
+        self._notification_listeners.setdefault(query_key, []).append(callback)
+
+    def _record_delivery(self, state: NodeState, notification: Notification) -> None:
+        identities = self._delivered_identities.setdefault(
+            notification.query_key, set()
+        )
+        is_new = notification.identity not in identities
+        if not is_new:
+            self.duplicate_deliveries += 1
+        identities.add(notification.identity)
+        self.delivered.setdefault(notification.query_key, []).append(notification)
+        if is_new:
+            for callback in self._notification_listeners.get(
+                notification.query_key, ()
+            ):
+                callback(notification)
+
+    def _on_unsubscribe(self, node: ChordNode, msg: UnsubscribeMessage) -> None:
+        self.state(node).alqt.remove(msg.query_key)
+
+    # ------------------------------------------------------------------
+    # Churn helpers
+    # ------------------------------------------------------------------
+    def disconnect(self, node: ChordNode) -> None:
+        """Subscriber goes offline *and* leaves the ring voluntarily."""
+        self.go_offline(node)
+        self.network.leave(node)
+
+    def reconnect(self, key: str) -> ChordNode:
+        """A previously disconnected node rejoins under the same key.
+
+        Chord assigns it the same identifier (``Hash(Key(n))``), so the
+        join handoff returns all data related to ``Id(n)`` — including
+        parked notifications, which :meth:`come_online` then surfaces.
+        """
+        node = self.network.join(key)
+        self.adopt(node)
+        self.come_online(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def evict_expired(self) -> int:
+        """Apply sliding-window eviction on every node (no-op when the
+        window is unbounded); returns the number of evicted items."""
+        if self.config.window is None:
+            return 0
+        cutoff = self.clock.now - self.config.window
+        return sum(self.state(node).evict_expired(cutoff) for node in self.network)
+
+    def load_snapshot(self) -> LoadSnapshot:
+        """Per-node filtering/storage load vectors (see metrics module)."""
+        return snapshot(self)
+
+    def notifications(self, node: ChordNode) -> list[Notification]:
+        """All notifications delivered to ``node`` so far."""
+        return list(self.state(node).inbox)
+
+    def delivered_rows(self, query_key: str) -> set:
+        """The delivered answer set of one query: ``{(value, row), ...}``."""
+        return {
+            (n.join_value_repr, n.row) for n in self.delivered.get(query_key, ())
+        }
+
+    @property
+    def traffic(self):
+        """The network's traffic counters (hops/messages by type)."""
+        return self.network.stats

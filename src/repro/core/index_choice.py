@@ -1,0 +1,205 @@
+"""Index-attribute selection strategies for SAI (Section 4.3.6).
+
+SAI indexes a query under **one** of its two join attributes; the
+choice determines who rewrites the query and which values spread its
+evaluation.  The paper discusses two mutually independent criteria:
+
+* **network traffic** — index under the attribute whose relation has
+  the *lowest* rate of incoming tuples, so fewer tuples trigger,
+  rewrite and reindex the query ("In our experiments ... we use the
+  first metric and always choose as join attribute the one with the
+  lower rate of incoming tuples");
+* **evaluator load distribution** — prefer the attribute whose observed
+  value distribution is more uniform, since "a join attribute with
+  highly skewed values will result in loading a small portion of the
+  evaluators".
+
+Strategies that need arrival statistics *probe* the two candidate
+rewriters before indexing ("any node can simply ask the two possible
+rewriter nodes ... for the rate that tuples arrive"); the probe lookups
+cost real overlay hops, billed as ``rate-probe`` traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import QueryError
+from ..sql.query import LEFT, RIGHT, JoinQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chord.node import ChordNode
+    from .engine import ContinuousQueryEngine
+
+
+@dataclass
+class ArrivalStats:
+    """Tuple-arrival statistics a rewriter keeps per (relation, attribute).
+
+    "Each node x can keep track of the total number of tuples that have
+    arrived to x in the last time window ... nodes should also keep
+    track of the values of attributes as tuples arrive."
+    """
+
+    count: int = 0
+    values: Counter = field(default_factory=Counter)
+
+    def record(self, value: Any) -> None:
+        self.count += 1
+        self.values[value] += 1
+
+    @property
+    def distinct_values(self) -> int:
+        return len(self.values)
+
+    def normalized_entropy(self) -> float:
+        """Shannon entropy of the value distribution scaled to [0, 1].
+
+        1.0 means perfectly uniform over the observed values; 0.0 means
+        a single value dominates completely (or nothing observed).
+        """
+        if self.count == 0 or len(self.values) <= 1:
+            return 0.0
+        total = float(self.count)
+        entropy = -sum(
+            (n / total) * math.log(n / total) for n in self.values.values()
+        )
+        return entropy / math.log(len(self.values))
+
+
+class IndexChoiceStrategy:
+    """Base class: pick the side (``left``/``right``) to index under."""
+
+    name = "base"
+
+    def choose(
+        self,
+        engine: "ContinuousQueryEngine",
+        origin: "ChordNode",
+        query: JoinQuery,
+    ) -> str:
+        raise NotImplementedError
+
+    # -- shared probing helper ------------------------------------------
+    @staticmethod
+    def _probe(
+        engine: "ContinuousQueryEngine",
+        origin: "ChordNode",
+        query: JoinQuery,
+        label: str,
+    ) -> ArrivalStats:
+        """Read arrival stats from the candidate rewriter of ``label``.
+
+        The lookup walks real finger tables; its hops are billed as
+        ``rate-probe`` traffic.
+        """
+        side = query.side(label)
+        attribute = query.index_attribute(label)
+        ident = engine.replication.probe_identifier(
+            engine.network.hash, side.relation, attribute
+        )
+        node = engine.network.router.lookup(origin, ident, account="rate-probe")
+        state = engine.state(node)
+        return state.arrivals.get((side.relation, attribute), ArrivalStats())
+
+
+class LeftChoice(IndexChoiceStrategy):
+    """Always index under the left join attribute.
+
+    Not from the paper — a deterministic baseline used by tests and the
+    Table 4.1 trace, where reproducible rewriter placement matters.
+    """
+
+    name = "left"
+
+    def choose(self, engine, origin, query) -> str:
+        return LEFT
+
+
+class RandomChoice(IndexChoiceStrategy):
+    """Uniformly random side — the baseline of Section 4.3.1."""
+
+    name = "random"
+
+    def choose(self, engine, origin, query) -> str:
+        return engine.rng.choice((LEFT, RIGHT))
+
+
+class MinRateChoice(IndexChoiceStrategy):
+    """Index under the relation with the *lowest* tuple-arrival rate.
+
+    The strategy the paper uses in its experiments: fewer arriving
+    tuples of the index relation means fewer trigger/rewrite/reindex
+    cycles and therefore less network traffic.
+    """
+
+    name = "min-rate"
+
+    def choose(self, engine, origin, query) -> str:
+        left = self._probe(engine, origin, query, LEFT)
+        right = self._probe(engine, origin, query, RIGHT)
+        if left.count == right.count:
+            return engine.rng.choice((LEFT, RIGHT))
+        return LEFT if left.count < right.count else RIGHT
+
+
+class MaxRateChoice(IndexChoiceStrategy):
+    """Adversarial baseline: index under the *highest*-rate relation.
+
+    Exists to quantify how much the choice matters (experiment E4).
+    """
+
+    name = "max-rate"
+
+    def choose(self, engine, origin, query) -> str:
+        left = self._probe(engine, origin, query, LEFT)
+        right = self._probe(engine, origin, query, RIGHT)
+        if left.count == right.count:
+            return engine.rng.choice((LEFT, RIGHT))
+        return LEFT if left.count > right.count else RIGHT
+
+
+class UniformityChoice(IndexChoiceStrategy):
+    """Index under the attribute with the more uniform value distribution.
+
+    Targets evaluator load distribution rather than traffic: the values
+    of the index attribute choose the evaluators, so a skewed attribute
+    concentrates the query's evaluation on few nodes.
+    """
+
+    name = "uniformity"
+
+    def choose(self, engine, origin, query) -> str:
+        left = self._probe(engine, origin, query, LEFT)
+        right = self._probe(engine, origin, query, RIGHT)
+        left_score = left.normalized_entropy()
+        right_score = right.normalized_entropy()
+        if left_score == right_score:
+            return engine.rng.choice((LEFT, RIGHT))
+        return LEFT if left_score > right_score else RIGHT
+
+
+_STRATEGIES = {
+    strategy.name: strategy
+    for strategy in (
+        LeftChoice,
+        RandomChoice,
+        MinRateChoice,
+        MaxRateChoice,
+        UniformityChoice,
+    )
+}
+
+
+def make_strategy(name: str) -> IndexChoiceStrategy:
+    """Instantiate a strategy by name (``random``, ``min-rate``, ...)."""
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise QueryError(
+            f"unknown index-choice strategy {name!r}; "
+            f"expected one of {sorted(_STRATEGIES)}"
+        ) from None

@@ -1,0 +1,70 @@
+"""The join fingers routing table (Section 4.7.1, reconstructed).
+
+A rewriter repeatedly reindexes rewritten queries toward value-level
+identifiers.  The JFRT caches, per value-level identifier, the node
+that answered the last routed delivery, so subsequent ``join()``
+messages for the same identifier reach their evaluator in **one hop**
+instead of ``O(log N)``.
+
+Entries can go stale when the cached node leaves, fails, or loses
+responsibility for the identifier to a newcomer; a cached entry is
+therefore validated before use and dropped on mismatch (the message
+then falls back to normal DHT routing, which also refreshes the
+entry).  The cache is a bounded LRU so a rewriter's memory use stays
+independent of the value domain size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chord.node import ChordNode
+
+
+class JoinFingersRoutingTable:
+    """Bounded LRU map: value-level identifier → evaluator node."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("JFRT capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, ChordNode]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, ident: int) -> Optional["ChordNode"]:
+        """A *valid* cached evaluator for ``ident``, or ``None``.
+
+        Validity = the node is alive and still responsible for the
+        identifier; stale entries are evicted and counted.
+        """
+        node = self._entries.get(ident)
+        if node is None:
+            self.misses += 1
+            return None
+        if not node.alive or not node.owns(ident):
+            del self._entries[ident]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(ident)
+        self.hits += 1
+        return node
+
+    def learn(self, ident: int, node: "ChordNode") -> None:
+        """Remember that ``node`` answered for ``ident`` (LRU insert)."""
+        self._entries[ident] = node
+        self._entries.move_to_end(ident)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,50 @@
+"""Notification creation and delivery (Section 4.6).
+
+An evaluator that satisfies a query's Where clause computes the answer
+row and notifies the subscriber.  Delivery uses the subscriber's IP
+address (one overlay hop) while the subscriber is online; otherwise the
+notification is routed to ``Successor(Id(n))`` and *parked* there until
+the subscriber reconnects — Chord's key handoff then returns the parked
+notifications, because "when a node n joins a network, it receives from
+its successor all data related to Id(n)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One answer row for one continuous query.
+
+    ``identity`` is the deduplication key used throughout the system:
+    the set semantics of query answers collapse contributions that
+    produce the same projected row for the same join value (the paper's
+    rewritten-query keys collapse exactly these, Section 4.3.3).
+    """
+
+    query_key: str
+    subscriber_ident: int
+    row: tuple[Any, ...]
+    join_value_repr: str
+    trigger_pub_time: float
+    match_pub_time: float
+    created_at: float
+
+    @property
+    def identity(self) -> tuple[str, str, tuple[Any, ...]]:
+        return (self.query_key, self.join_value_repr, self.row)
+
+
+def group_by_subscriber(notifications) -> dict[int, list[Notification]]:
+    """Batch notifications per receiver.
+
+    "If more than one notifications are created for the same receiver,
+    they are grouped in one message" (Section 4.6).
+    """
+    grouped: dict[int, list[Notification]] = {}
+    for notification in notifications:
+        grouped.setdefault(notification.subscriber_ident, []).append(notification)
+    return grouped

@@ -1,0 +1,100 @@
+"""A centralized continuous-join oracle for correctness testing.
+
+The oracle evaluates the same continuous two-way equi-join semantics as
+the distributed algorithms, but with a trivial nested-loop engine that
+keeps everything in one place.  Property tests feed identical workloads
+to the oracle and to each of SAI / DAI-Q / DAI-T / DAI-V and require
+the *sets* of answer rows to match exactly.
+
+Answer semantics (see DESIGN.md and
+:mod:`repro.core.notifications`): a query's answers form a set of
+``(join value, projected row)`` pairs; contributions producing the same
+projected row for the same join value collapse — exactly what the
+paper's rewritten-query keys collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import QueryError
+from ..sql.expr import canonical_value, evaluate
+from ..sql.query import LEFT, RIGHT, JoinQuery
+from ..sql.tuples import DataTuple
+
+
+class CentralizedOracle:
+    """Ground-truth evaluator for continuous two-way equi-joins."""
+
+    def __init__(self, window: Optional[float] = None):
+        self.window = window
+        self._queries: list[JoinQuery] = []
+        self._tuples: dict[str, list[DataTuple]] = {}
+        #: query key → set of (join value repr, projected row).
+        self.rows: dict[str, set[tuple[str, tuple[Any, ...]]]] = {}
+
+    # ------------------------------------------------------------------
+    def subscribe(self, query: JoinQuery) -> None:
+        """Register a bound query (key and insertion time must be set)."""
+        if not query.key:
+            raise QueryError("oracle queries must be bound (missing key)")
+        self._queries.append(query)
+        self.rows.setdefault(query.key, set())
+
+    def insert(self, tup: DataTuple) -> None:
+        """Insert a tuple: join it with every stored opposite tuple."""
+        for query in self._queries:
+            for label in (LEFT, RIGHT):
+                side = query.side(label)
+                if side.relation != tup.relation.name:
+                    continue
+                self._join_one_side(query, label, tup)
+        self._tuples.setdefault(tup.relation.name, []).append(tup)
+
+    # ------------------------------------------------------------------
+    def _join_one_side(self, query: JoinQuery, label: str, tup: DataTuple) -> None:
+        side = query.side(label)
+        other = query.side(query.other_label(label))
+        if tup.pub_time < query.insertion_time or not side.accepts(tup):
+            return
+        try:
+            this_value = canonical_value(evaluate(side.expr, tup))
+        except QueryError:
+            return
+        for partner in self._tuples.get(other.relation, ()):
+            if partner.pub_time < query.insertion_time:
+                continue
+            if self.window is not None and (
+                abs(tup.pub_time - partner.pub_time) > self.window
+            ):
+                continue
+            if not other.accepts(partner):
+                continue
+            try:
+                partner_value = canonical_value(evaluate(other.expr, partner))
+            except QueryError:
+                continue
+            if this_value != partner_value:
+                continue
+            row = self._project(query, label, tup, partner)
+            self.rows[query.key].add((repr(this_value), row))
+
+    @staticmethod
+    def _project(
+        query: JoinQuery, label: str, tup: DataTuple, partner: DataTuple
+    ) -> tuple[Any, ...]:
+        this_relation = query.side(label).relation
+        row = []
+        for ref in query.select:
+            source = tup if ref.relation == this_relation else partner
+            row.append(source.value(ref.attribute))
+        return tuple(row)
+
+    # ------------------------------------------------------------------
+    def rows_for(self, query_key: str) -> set[tuple[str, tuple[Any, ...]]]:
+        """The answer set of one query so far."""
+        return set(self.rows.get(query_key, ()))
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.rows.values())

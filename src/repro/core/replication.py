@@ -1,0 +1,65 @@
+"""Attribute-level load balancing via replication (Section 4.7.2,
+reconstructed).
+
+The rewriter responsible for ``Hash(R + A)`` is a structural hotspot:
+*every* tuple of ``R`` sends it an ``al-index`` message and every query
+indexed on ``R.A`` lives there.  The replication scheme splits the
+rewriter role over ``k`` identifiers ``Hash(R + A + "#" + j)``:
+
+* a query indexed on ``R.A`` is stored at **all** ``k`` replicas, so no
+  replica misses a triggering tuple;
+* each incoming tuple sends its ``al-index(t, A)`` message to **one**
+  uniformly chosen replica.
+
+Attribute-level filtering load per replica drops by a factor ``~k``
+while attribute-level storage grows by ``k`` — the tradeoff measured by
+experiments E6/E7 (Figures 5.6/5.7).
+"""
+
+from __future__ import annotations
+
+from ..chord.hashing import ConsistentHash, make_key
+
+
+class ReplicationScheme:
+    """Maps (relation, attribute) to its replica rewriter identifiers."""
+
+    def __init__(self, factor: int = 1):
+        if factor < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.factor = factor
+
+    def rewriter_identifiers(
+        self, hash_fn: ConsistentHash, relation: str, attribute: str
+    ) -> list[int]:
+        """All replica identifiers for the attribute-level key.
+
+        With ``factor == 1`` this is the paper's plain
+        ``Hash(R + A)`` — the unreplicated algorithms fall out as the
+        special case.
+        """
+        if self.factor == 1:
+            return [hash_fn(make_key(relation, attribute))]
+        return [
+            hash_fn(make_key(relation, attribute, f"#{replica}"))
+            for replica in range(self.factor)
+        ]
+
+    def pick_identifier(
+        self, hash_fn: ConsistentHash, relation: str, attribute: str, rng
+    ) -> int:
+        """The replica a tuple's ``al-index`` message is sent to."""
+        if self.factor == 1:
+            return hash_fn(make_key(relation, attribute))
+        replica = rng.randrange(self.factor)
+        return hash_fn(make_key(relation, attribute, f"#{replica}"))
+
+    def probe_identifier(
+        self, hash_fn: ConsistentHash, relation: str, attribute: str
+    ) -> int:
+        """The replica consulted by index-attribute-choice probes.
+
+        Any fixed replica sees an unbiased ``1/k`` sample of the
+        arrival stream, so replica 0 is used for determinism.
+        """
+        return self.rewriter_identifiers(hash_fn, relation, attribute)[0]

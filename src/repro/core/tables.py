@@ -1,0 +1,418 @@
+"""Local two-level hash tables: ALQT, VLQT, VLTT (Section 4.3.5).
+
+Rewriter nodes keep queries in the **attribute-level query table**
+(ALQT); evaluator nodes keep rewritten queries in the **value-level
+query table** (VLQT) and tuples in the **value-level tuple table**
+(VLTT).  All three are two-level hash tables, so every incoming message
+reaches its match candidates in two dictionary steps — the number of
+candidates actually examined is what the filtering-load metric counts.
+
+Every stored item remembers the routing identifier it was addressed to,
+so responsibility handoff on node join/leave is a filter over the
+tables (Chord transfers "all data related to Id(n)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from ..sql.query import JoinQuery, RewrittenQuery
+from ..sql.tuples import DataTuple, ProjectedTuple
+
+
+# ----------------------------------------------------------------------
+# Attribute level: queries waiting at rewriters
+# ----------------------------------------------------------------------
+
+@dataclass
+class StoredQuery:
+    """A query resident at a rewriter, with its indexing side."""
+
+    query: JoinQuery
+    index_label: str
+    routing_ident: int
+
+
+@dataclass
+class QueryGroup:
+    """Queries sharing an equivalent join condition (Section 4.3.5).
+
+    "Similar queries are triggered in a single step.  In addition,
+    reindexing can also be done with only one message for multiple
+    queries since for the same incoming tuple all similar queries will
+    require the same evaluator."
+
+    ``sent_rewritten_keys`` is the DAI-T rewriter-side memory: "a
+    rewriter does not need to reindex the same rewritten query more
+    than once at the value level" (Section 4.4.3).
+    """
+
+    signature: str
+    entries: list[StoredQuery] = field(default_factory=list)
+    sent_rewritten_keys: set[str] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class AttributeLevelQueryTable:
+    """ALQT: level 1 = index attribute, level 2 = join condition."""
+
+    def __init__(self):
+        self._buckets: dict[tuple[str, str], dict[str, QueryGroup]] = {}
+        self._count = 0
+
+    def add(self, stored: StoredQuery) -> QueryGroup:
+        """Index a query under its (relation, index attribute) bucket."""
+        query = stored.query
+        side = query.side(stored.index_label)
+        level1 = (side.relation, query.index_attribute(stored.index_label))
+        groups = self._buckets.setdefault(level1, {})
+        signature = query.join_signature()
+        group = groups.get(signature)
+        if group is None:
+            group = QueryGroup(signature)
+            groups[signature] = group
+        group.entries.append(stored)
+        self._count += 1
+        return group
+
+    def groups_for(self, relation: str, attribute: str) -> list[QueryGroup]:
+        """All groups a tuple indexed by ``(relation, attribute)`` can hit."""
+        return list(self._buckets.get((relation, attribute), {}).values())
+
+    def remove(self, query_key: str) -> int:
+        """Unsubscribe: drop every copy of the query; returns removals."""
+        removed = 0
+        for groups in self._buckets.values():
+            for signature in list(groups):
+                group = groups[signature]
+                before = len(group.entries)
+                group.entries = [
+                    entry for entry in group.entries if entry.query.key != query_key
+                ]
+                removed += before - len(group.entries)
+                if not group.entries:
+                    del groups[signature]
+        self._count -= removed
+        return removed
+
+    def pop_matching(self, should_move: Callable[[int], bool]) -> list[StoredQuery]:
+        """Remove and return entries whose routing ident satisfies the
+        predicate (responsibility handoff)."""
+        moved: list[StoredQuery] = []
+        for level1 in list(self._buckets):
+            groups = self._buckets[level1]
+            for signature in list(groups):
+                group = groups[signature]
+                keep = []
+                for entry in group.entries:
+                    if should_move(entry.routing_ident):
+                        moved.append(entry)
+                    else:
+                        keep.append(entry)
+                group.entries = keep
+                if not keep:
+                    del groups[signature]
+            if not groups:
+                del self._buckets[level1]
+        self._count -= len(moved)
+        return moved
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[StoredQuery]:
+        for groups in self._buckets.values():
+            for group in groups.values():
+                yield from group.entries
+
+
+# ----------------------------------------------------------------------
+# Value level: rewritten queries at evaluators
+# ----------------------------------------------------------------------
+
+@dataclass
+class StoredRewritten:
+    """A rewritten query at an evaluator, with its trigger-time memory.
+
+    When a rewritten query with a key that is already present arrives,
+    "only pubT(t) is stored along with q'" (Section 4.3.3) — hence the
+    ``latest_trigger_time`` update instead of a second copy.
+    """
+
+    rewritten: RewrittenQuery
+    routing_ident: int
+    latest_trigger_time: float
+
+    def refresh(self, trigger_time: float) -> None:
+        if trigger_time > self.latest_trigger_time:
+            self.latest_trigger_time = trigger_time
+
+
+class ValueLevelQueryTable:
+    """VLQT: level 1 = load-distributing attribute, level 2 = value."""
+
+    def __init__(self):
+        self._buckets: dict[tuple[str, str], dict[Any, dict[str, StoredRewritten]]] = {}
+        self._count = 0
+
+    def add(self, rewritten: RewrittenQuery, routing_ident: int) -> tuple[StoredRewritten, bool]:
+        """Store (or refresh) a rewritten query; returns (entry, is_new).
+
+        The level-2 key is ``dis_value`` — the attribute value a
+        matching tuple carries — so arriving ``vl-index`` tuples find
+        their candidates by their own attribute values even when the
+        dis side is a linear expression.
+        """
+        level1 = (rewritten.relation, rewritten.dis_attribute or "")
+        level2 = self._buckets.setdefault(level1, {})
+        by_key = level2.setdefault(rewritten.dis_value, {})
+        existing = by_key.get(rewritten.key)
+        if existing is not None:
+            existing.refresh(rewritten.trigger_pub_time)
+            return existing, False
+        entry = StoredRewritten(rewritten, routing_ident, rewritten.trigger_pub_time)
+        by_key[rewritten.key] = entry
+        self._count += 1
+        return entry, True
+
+    def peek(self, rewritten: RewrittenQuery) -> Optional[StoredRewritten]:
+        """The stored entry with this rewritten query's key, if any."""
+        level2 = self._buckets.get((rewritten.relation, rewritten.dis_attribute or ""))
+        if not level2:
+            return None
+        by_key = level2.get(rewritten.dis_value)
+        return by_key.get(rewritten.key) if by_key else None
+
+    def insert_entry(self, entry: StoredRewritten) -> None:
+        """Re-insert a previously stored entry (responsibility handoff)."""
+        stored, is_new = self.add(entry.rewritten, entry.routing_ident)
+        stored.refresh(entry.latest_trigger_time)
+        if not is_new:
+            stored.routing_ident = entry.routing_ident
+
+    def candidates(
+        self, relation: str, attribute: str, value: Any
+    ) -> list[StoredRewritten]:
+        """Rewritten queries a ``vl-index`` tuple can possibly trigger."""
+        level2 = self._buckets.get((relation, attribute))
+        if not level2:
+            return []
+        by_key = level2.get(value)
+        return list(by_key.values()) if by_key else []
+
+    def evict_older_than(self, cutoff: float) -> int:
+        """Drop entries whose latest trigger is before ``cutoff``
+        (sliding-window semantics); returns evictions."""
+        evicted = 0
+        for level1 in list(self._buckets):
+            level2 = self._buckets[level1]
+            for value in list(level2):
+                by_key = level2[value]
+                for key in list(by_key):
+                    if by_key[key].latest_trigger_time < cutoff:
+                        del by_key[key]
+                        evicted += 1
+                if not by_key:
+                    del level2[value]
+            if not level2:
+                del self._buckets[level1]
+        self._count -= evicted
+        return evicted
+
+    def pop_matching(self, should_move: Callable[[int], bool]) -> list[StoredRewritten]:
+        moved: list[StoredRewritten] = []
+        for level1 in list(self._buckets):
+            level2 = self._buckets[level1]
+            for value in list(level2):
+                by_key = level2[value]
+                for key in list(by_key):
+                    if should_move(by_key[key].routing_ident):
+                        moved.append(by_key.pop(key))
+                if not by_key:
+                    del level2[value]
+            if not level2:
+                del self._buckets[level1]
+        self._count -= len(moved)
+        return moved
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[StoredRewritten]:
+        for level2 in self._buckets.values():
+            for by_key in level2.values():
+                yield from by_key.values()
+
+
+# ----------------------------------------------------------------------
+# Value level: tuples at evaluators
+# ----------------------------------------------------------------------
+
+@dataclass
+class StoredTuple:
+    """A tuple at an evaluator, remembered under its index attribute."""
+
+    tuple: DataTuple
+    index_attribute: str
+    routing_ident: int
+
+
+class ValueLevelTupleTable:
+    """VLTT: level 1 = tuple's index attribute, level 2 = its value."""
+
+    def __init__(self):
+        self._buckets: dict[tuple[str, str], dict[Any, list[StoredTuple]]] = {}
+        self._count = 0
+
+    def add(self, stored: StoredTuple) -> None:
+        level1 = (stored.tuple.relation.name, stored.index_attribute)
+        value = stored.tuple.value(stored.index_attribute)
+        self._buckets.setdefault(level1, {}).setdefault(value, []).append(stored)
+        self._count += 1
+
+    def candidates(self, relation: str, attribute: str, value: Any) -> list[StoredTuple]:
+        """Tuples a rewritten query over ``relation.attribute = value``
+        can possibly match."""
+        level2 = self._buckets.get((relation, attribute))
+        if not level2:
+            return []
+        return list(level2.get(value, ()))
+
+    def evict_older_than(self, cutoff: float) -> int:
+        evicted = 0
+        for level1 in list(self._buckets):
+            level2 = self._buckets[level1]
+            for value in list(level2):
+                kept = [s for s in level2[value] if s.tuple.pub_time >= cutoff]
+                evicted += len(level2[value]) - len(kept)
+                if kept:
+                    level2[value] = kept
+                else:
+                    del level2[value]
+            if not level2:
+                del self._buckets[level1]
+        self._count -= evicted
+        return evicted
+
+    def pop_matching(self, should_move: Callable[[int], bool]) -> list[StoredTuple]:
+        moved: list[StoredTuple] = []
+        for level1 in list(self._buckets):
+            level2 = self._buckets[level1]
+            for value in list(level2):
+                keep = []
+                for stored in level2[value]:
+                    if should_move(stored.routing_ident):
+                        moved.append(stored)
+                    else:
+                        keep.append(stored)
+                if keep:
+                    level2[value] = keep
+                else:
+                    del level2[value]
+            if not level2:
+                del self._buckets[level1]
+        self._count -= len(moved)
+        return moved
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[StoredTuple]:
+        for level2 in self._buckets.values():
+            for stored_list in level2.values():
+                yield from stored_list
+
+
+# ----------------------------------------------------------------------
+# DAI-V: projected tuples at value-indexed evaluators (Section 4.5)
+# ----------------------------------------------------------------------
+
+@dataclass
+class StoredProjection:
+    """A projected trigger tuple stored by a DAI-V evaluator."""
+
+    projection: ProjectedTuple
+    group_signature: str
+    value: Any
+    routing_ident: int
+
+
+class ProjectionStore:
+    """DAI-V storage: level 1 = (group, relation), level 2 = join value.
+
+    The join value is re-checked on match, so identifier collisions
+    between different values (``Hash(str(value))`` shares one ring) can
+    never create false notifications.
+    """
+
+    def __init__(self):
+        self._buckets: dict[tuple[str, str], dict[Any, list[StoredProjection]]] = {}
+        self._count = 0
+
+    def add(self, stored: StoredProjection) -> bool:
+        """Store a projection; duplicates (same content) are collapsed."""
+        level1 = (stored.group_signature, stored.projection.relation_name)
+        bucket = self._buckets.setdefault(level1, {}).setdefault(stored.value, [])
+        for existing in bucket:
+            if existing.projection.items == stored.projection.items:
+                if stored.projection.pub_time > existing.projection.pub_time:
+                    existing.projection = stored.projection
+                return False
+        bucket.append(stored)
+        self._count += 1
+        return True
+
+    def candidates(
+        self, group_signature: str, relation: str, value: Any
+    ) -> list[StoredProjection]:
+        level2 = self._buckets.get((group_signature, relation))
+        if not level2:
+            return []
+        return list(level2.get(value, ()))
+
+    def evict_older_than(self, cutoff: float) -> int:
+        evicted = 0
+        for level1 in list(self._buckets):
+            level2 = self._buckets[level1]
+            for value in list(level2):
+                kept = [s for s in level2[value] if s.projection.pub_time >= cutoff]
+                evicted += len(level2[value]) - len(kept)
+                if kept:
+                    level2[value] = kept
+                else:
+                    del level2[value]
+            if not level2:
+                del self._buckets[level1]
+        self._count -= evicted
+        return evicted
+
+    def pop_matching(self, should_move: Callable[[int], bool]) -> list[StoredProjection]:
+        moved: list[StoredProjection] = []
+        for level1 in list(self._buckets):
+            level2 = self._buckets[level1]
+            for value in list(level2):
+                keep = []
+                for stored in level2[value]:
+                    if should_move(stored.routing_ident):
+                        moved.append(stored)
+                    else:
+                        keep.append(stored)
+                if keep:
+                    level2[value] = keep
+                else:
+                    del level2[value]
+            if not level2:
+                del self._buckets[level1]
+        self._count -= len(moved)
+        return moved
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[StoredProjection]:
+        for level2 in self._buckets.values():
+            for stored_list in level2.values():
+                yield from stored_list

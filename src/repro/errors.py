@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class RoutingError(ReproError):
+    """A lookup failed to converge (ring state too damaged to route)."""
+
+
+class SchemaError(ReproError):
+    """Invalid relation/attribute definition or tuple not matching it."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or unsupported by the selected algorithm."""
+
+
+class ParseError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class NetworkError(ReproError):
+    """Invalid overlay operation (duplicate join, dead node, ...)."""

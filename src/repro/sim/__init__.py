@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (clock, events, stats, messages)."""
+
+from .clock import LogicalClock
+from .events import Event, EventQueue
+from .simulator import Simulator, schedule_stabilization
+from .stats import (
+    NodeLoad,
+    TrafficStats,
+    TrafficSnapshot,
+    gini,
+    participation,
+    percentile_series,
+    sorted_loads,
+    top_share,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "LogicalClock",
+    "NodeLoad",
+    "Simulator",
+    "TrafficSnapshot",
+    "TrafficStats",
+    "gini",
+    "participation",
+    "percentile_series",
+    "schedule_stabilization",
+    "sorted_loads",
+    "top_share",
+]

@@ -1,0 +1,40 @@
+"""Logical time for the simulation.
+
+The paper assumes nodes "have synchronized clocks" (Section 3.1, via
+NTP), so a single logical clock serves the whole network.  Publication
+times ``pubT(t)`` and insertion times ``insT(q)`` are read off this
+clock; the triggering rule ``pubT(t) >= insT(q)`` (Section 3.2) and the
+sliding measurement windows of the experiments both depend on it.
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """A monotonically non-decreasing logical clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` (must be non-negative)."""
+        if delta < 0:
+            raise ValueError(f"clock cannot move backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(now={self._now})"

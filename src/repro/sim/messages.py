@@ -1,0 +1,116 @@
+"""Overlay message types exchanged by the query-processing protocols.
+
+The paper names five application messages:
+
+* ``query(q, Id(n), IP(n))`` — index a continuous query at a rewriter
+  (Section 4.3.1);
+* ``al-index(t, A)`` — index tuple ``t`` at the *attribute level* using
+  attribute ``A`` (Section 4.2);
+* ``vl-index(t, A)`` — index tuple ``t`` at the *value level*;
+* ``join(q')`` — reindex a rewritten query at an evaluator (Section
+  4.3.2); batched when grouping applies (Section 4.3.5);
+* notifications delivered back to subscribers (Section 4.6).
+
+Messages are plain immutable records; the routing layer only looks at
+``type`` for accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sql.query import JoinQuery, RewrittenQuery
+    from ..sql.tuples import DataTuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all overlay messages."""
+
+    type: ClassVar[str] = "message"
+
+
+@dataclass(frozen=True)
+class QueryIndexMessage(Message):
+    """``query(q, Id(n), IP(n))`` — store ``q`` at a rewriter node.
+
+    ``index_attribute`` names which join attribute this copy of the
+    query is indexed under (relevant for the DAI algorithms where the
+    same query is indexed twice, once per join attribute).
+    """
+
+    type: ClassVar[str] = "query"
+    query: "JoinQuery" = None  # type: ignore[assignment]
+    index_side: str = "left"
+    #: The identifier this copy was addressed to (one per replica);
+    #: stored with the query so key handoff on churn can find it.
+    routing_ident: int = 0
+
+
+@dataclass(frozen=True)
+class ALIndexMessage(Message):
+    """``al-index(t, A)`` — tuple arriving at the attribute level."""
+
+    type: ClassVar[str] = "al-index"
+    tuple: "DataTuple" = None  # type: ignore[assignment]
+    index_attribute: str = ""
+
+
+@dataclass(frozen=True)
+class VLIndexMessage(Message):
+    """``vl-index(t, A)`` — tuple arriving at the value level."""
+
+    type: ClassVar[str] = "vl-index"
+    tuple: "DataTuple" = None  # type: ignore[assignment]
+    index_attribute: str = ""
+
+
+@dataclass(frozen=True)
+class JoinMessage(Message):
+    """``join(q'_1 .. q'_k)`` — rewritten queries bound for one evaluator.
+
+    Grouping (Section 4.3.5) lets a rewriter ship every rewritten query
+    that shares the same evaluator in a single message, so the payload
+    is a tuple of rewritten queries.  For DAI-V the projected triggering
+    tuple rides along (Section 4.5: ``join(q'_L, t'_1)``).
+    """
+
+    type: ClassVar[str] = "join"
+    rewritten: tuple["RewrittenQuery", ...] = field(default_factory=tuple)
+    #: DAI-V only: the projected trigger tuple per rewritten query,
+    #: aligned with ``rewritten`` (empty for the other algorithms).
+    projections: tuple[Any, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class NotificationMessage(Message):
+    """A batch of notifications for one subscriber (Section 4.6)."""
+
+    type: ClassVar[str] = "notification"
+    notifications: tuple[Any, ...] = field(default_factory=tuple)
+    subscriber_ident: int = 0
+
+
+@dataclass(frozen=True)
+class UnsubscribeMessage(Message):
+    """Remove every copy of a query from a rewriter's ALQT."""
+
+    type: ClassVar[str] = "unsubscribe"
+    query_key: str = ""
+
+
+@dataclass(frozen=True)
+class RateProbeMessage(Message):
+    """Ask a (candidate) rewriter for its observed tuple-arrival rate.
+
+    Used by the SAI index-attribute selection strategies (Section
+    4.3.6): "any node can simply ask the two possible rewriter nodes
+    before indexing a query for the rate that tuples arrive".
+    """
+
+    type: ClassVar[str] = "rate-probe"
+    relation: str = ""
+    attribute: str = ""
+    reply_box: list = field(default_factory=list, hash=False, compare=False)

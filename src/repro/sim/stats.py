@@ -1,0 +1,198 @@
+"""Traffic and load accounting.
+
+The paper's evaluation (Chapter 5) reports three families of metrics:
+
+* **network traffic** — overlay hops, counted per message as it is
+  forwarded through finger tables;
+* **filtering load** — how many query/tuple candidates a node examines
+  while processing incoming messages;
+* **storage load** — how many items (queries, rewritten queries, tuples,
+  parked notifications) a node keeps.
+
+:class:`TrafficStats` is fed by the routing layer; per-node filtering
+counters live in :class:`NodeLoad`; the module-level helpers aggregate
+per-node vectors into the distribution statistics the figures plot.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TrafficSnapshot:
+    """An immutable copy of the traffic counters at one point in time."""
+
+    hops: int
+    messages: int
+    hops_by_type: dict[str, int]
+    messages_by_type: dict[str, int]
+
+
+@dataclass
+class TrafficStats:
+    """Mutable hop/message counters shared by one network's router."""
+
+    hops: int = 0
+    messages: int = 0
+    hops_by_type: Counter = field(default_factory=Counter)
+    messages_by_type: Counter = field(default_factory=Counter)
+
+    def record(self, message_type: str, hops: int) -> None:
+        """Account one routed message that took ``hops`` overlay hops."""
+        self.hops += hops
+        self.messages += 1
+        self.hops_by_type[message_type] += hops
+        self.messages_by_type[message_type] += 1
+
+    def record_batch(self, message_type: str, message_count: int, hops: int) -> None:
+        """Account a batch of messages that shared a routing path.
+
+        The recursive ``multisend`` (Section 2.3) delivers ``k`` messages
+        while sweeping the ring once, so the hop total is a property of
+        the batch rather than of any single message.
+        """
+        self.hops += hops
+        self.messages += message_count
+        self.hops_by_type[message_type] += hops
+        self.messages_by_type[message_type] += message_count
+
+    def record_hops(self, message_type: str, hops: int) -> None:
+        """Account extra hops that are not a standalone message.
+
+        Used for lookup traffic (e.g. rate probes resolving a rewriter)
+        where the figure of interest is hop count only.
+        """
+        self.hops += hops
+        self.hops_by_type[message_type] += hops
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Copy the current counters."""
+        return TrafficSnapshot(
+            hops=self.hops,
+            messages=self.messages,
+            hops_by_type=dict(self.hops_by_type),
+            messages_by_type=dict(self.messages_by_type),
+        )
+
+    def since(self, earlier: TrafficSnapshot) -> TrafficSnapshot:
+        """Counters accumulated after ``earlier`` was taken."""
+        return TrafficSnapshot(
+            hops=self.hops - earlier.hops,
+            messages=self.messages - earlier.messages,
+            hops_by_type={
+                key: count - earlier.hops_by_type.get(key, 0)
+                for key, count in self.hops_by_type.items()
+            },
+            messages_by_type={
+                key: count - earlier.messages_by_type.get(key, 0)
+                for key, count in self.messages_by_type.items()
+            },
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hops = 0
+        self.messages = 0
+        self.hops_by_type.clear()
+        self.messages_by_type.clear()
+
+
+@dataclass
+class NodeLoad:
+    """Per-node load counters (filtering load; storage is derived).
+
+    ``filtering`` counts query/tuple *candidates examined*, which with
+    the two-level hash tables of Section 4.3.5 equals the size of the
+    bucket each incoming message is matched against.  ``attribute_level``
+    and ``value_level`` split the same quantity by the indexing level so
+    the rewriter/evaluator roles can be reported separately.
+    """
+
+    filtering: int = 0
+    attribute_level_filtering: int = 0
+    value_level_filtering: int = 0
+    messages_processed: int = 0
+    notifications_created: int = 0
+
+    def add_attribute_level(self, candidates: int) -> None:
+        """Account a filtering step performed by a rewriter."""
+        self.filtering += candidates
+        self.attribute_level_filtering += candidates
+
+    def add_value_level(self, candidates: int) -> None:
+        """Account a filtering step performed by an evaluator."""
+        self.filtering += candidates
+        self.value_level_filtering += candidates
+
+
+# ----------------------------------------------------------------------
+# Distribution helpers (used by the load-distribution figures)
+# ----------------------------------------------------------------------
+
+def sorted_loads(values) -> np.ndarray:
+    """Per-node loads sorted descending — the x-axis of Figures 5.10+."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return array
+    return np.sort(array)[::-1]
+
+
+def gini(values) -> float:
+    """Gini coefficient of a load vector (0 = perfectly balanced).
+
+    A single scalar summary of the load-distribution curves the paper
+    plots; used by the benchmarks to assert that one algorithm
+    distributes load better than another.
+    """
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        return 0.0
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    n = array.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * array).sum()) / (n * total) - (n + 1) / n)
+
+
+def top_share(values, fraction: float = 0.01) -> float:
+    """Fraction of total load carried by the top ``fraction`` of nodes.
+
+    ``top_share(loads, 0.01)`` answers "how much of the work do the 1%
+    most loaded nodes do?" — the quantity behind Figure 5.15.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    array = sorted_loads(values)
+    if array.size == 0:
+        return 0.0
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    count = max(1, int(round(array.size * fraction)))
+    return float(array[:count].sum() / total)
+
+
+def percentile_series(values, percentiles=(50, 90, 99, 100)) -> dict[int, float]:
+    """Selected percentiles of a load vector, highest-load oriented."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return {p: 0.0 for p in percentiles}
+    return {p: float(np.percentile(array, p)) for p in percentiles}
+
+
+def participation(values) -> float:
+    """Fraction of nodes with non-zero load (network utilization).
+
+    Section 4.1 motivates the two-level scheme by the *network
+    utilization*: "the percentage of nodes participating in query
+    processing".
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(array) / array.size)

@@ -1,0 +1,245 @@
+"""Expression ASTs for join conditions (Section 3.2).
+
+A two-way equi-join ``Where α = β`` allows each side to be an arbitrary
+expression (arithmetic, string) over a *single* relation's attributes
+plus constants.  Queries whose sides are single attributes are type
+``T1``; sides involving several attributes make the query type ``T2``
+(handled only by DAI-V, Section 4.5).
+
+AST nodes are frozen dataclasses, so they are hashable and can appear
+inside message payloads and rewritten-query keys.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Union
+
+from ..errors import QueryError
+
+Expression = Union["Const", "AttrRef", "BinaryOp", "Negate"]
+
+_OPERATORS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant (number or string)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A qualified attribute reference ``R.A``."""
+
+    relation: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """An arithmetic/string operation ``left op right``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _OPERATORS:
+            raise QueryError(f"unsupported operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Negate:
+    """Unary minus."""
+
+    operand: Expression
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+
+def attributes_of(expr: Expression) -> set[AttrRef]:
+    """All attribute references appearing in ``expr``."""
+    if isinstance(expr, AttrRef):
+        return {expr}
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, Negate):
+        return attributes_of(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return attributes_of(expr.left) | attributes_of(expr.right)
+    raise QueryError(f"not an expression: {expr!r}")
+
+
+def relations_of(expr: Expression) -> set[str]:
+    """Names of the relations referenced by ``expr``."""
+    return {ref.relation for ref in attributes_of(expr)}
+
+
+def is_single_attribute(expr: Expression) -> bool:
+    """True when the expression is exactly one attribute reference.
+
+    This is the structural half of the type-T1 criterion: both sides of
+    the join condition are single attributes, so ``α = β`` has a unique
+    solution over the attribute domains.
+    """
+    return isinstance(expr, AttrRef)
+
+
+# ----------------------------------------------------------------------
+# Evaluation / substitution
+# ----------------------------------------------------------------------
+
+def evaluate(expr: Expression, tuple_like) -> Any:
+    """Evaluate ``expr`` against a tuple of its (single) relation.
+
+    ``tuple_like`` must expose ``value(attribute)``; both
+    :class:`~repro.sql.tuples.DataTuple` and
+    :class:`~repro.sql.tuples.ProjectedTuple` do.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, AttrRef):
+        return tuple_like.value(expr.attribute)
+    if isinstance(expr, Negate):
+        return -evaluate(expr.operand, tuple_like)
+    if isinstance(expr, BinaryOp):
+        left = evaluate(expr.left, tuple_like)
+        right = evaluate(expr.right, tuple_like)
+        try:
+            return _OPERATORS[expr.op](left, right)
+        except TypeError as exc:
+            raise QueryError(f"cannot evaluate {expr}: {exc}") from exc
+    raise QueryError(f"not an expression: {expr!r}")
+
+
+def substitute(expr: Expression, relation: str, tuple_like) -> Expression:
+    """Replace ``relation``'s attributes in ``expr`` by tuple values.
+
+    This is the rewriting step of Section 4.3.2: "each attribute of
+    IndexR(q) in the Select and Where clause of q is replaced by its
+    corresponding value in t".  Sub-expressions that become constant are
+    folded.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, AttrRef):
+        if expr.relation == relation:
+            return Const(tuple_like.value(expr.attribute))
+        return expr
+    if isinstance(expr, Negate):
+        inner = substitute(expr.operand, relation, tuple_like)
+        if isinstance(inner, Const):
+            return Const(-inner.value)
+        return Negate(inner)
+    if isinstance(expr, BinaryOp):
+        left = substitute(expr.left, relation, tuple_like)
+        right = substitute(expr.right, relation, tuple_like)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(_OPERATORS[expr.op](left.value, right.value))
+        return BinaryOp(expr.op, left, right)
+    raise QueryError(f"not an expression: {expr!r}")
+
+
+def linear_form(expr: Expression):
+    """Decompose ``expr`` as ``a * X + b`` over a single attribute ``X``.
+
+    Returns ``(attr_ref, a, b)`` when the expression is linear in
+    exactly one attribute with ``a != 0`` — the shape for which the
+    equality ``expr = v`` has the unique solution ``X = (v - b) / a``.
+    Returns ``None`` for constants, multi-attribute or non-linear
+    expressions (which only DAI-V can evaluate).
+
+    This implements the paper's full type-T1 criterion: "α and β
+    involve a single attribute of R and S ... and equality α = β has a
+    unique solution over dom(A_i) × dom(B_j)" (Section 3.2).
+    """
+    decomposed = _linear_terms(expr)
+    if decomposed is None:
+        return None
+    attr, a, b = decomposed
+    if attr is None or a == 0:
+        return None
+    return attr, a, b
+
+
+def _linear_terms(expr: Expression):
+    """``(attr | None, a, b)`` such that expr == a * attr + b, or None."""
+    if isinstance(expr, Const):
+        if isinstance(expr.value, (int, float)) and not isinstance(expr.value, bool):
+            return None, 0, expr.value
+        return None  # strings and other constants are not linear terms
+    if isinstance(expr, AttrRef):
+        return expr, 1, 0
+    if isinstance(expr, Negate):
+        inner = _linear_terms(expr.operand)
+        if inner is None:
+            return None
+        attr, a, b = inner
+        return attr, -a, -b
+    if isinstance(expr, BinaryOp):
+        left = _linear_terms(expr.left)
+        right = _linear_terms(expr.right)
+        if left is None or right is None:
+            return None
+        l_attr, l_a, l_b = left
+        r_attr, r_a, r_b = right
+        if expr.op in ("+", "-"):
+            sign = 1 if expr.op == "+" else -1
+            if l_attr is not None and r_attr is not None and l_attr != r_attr:
+                return None  # two different attributes: not single-attribute
+            attr = l_attr if l_attr is not None else r_attr
+            return attr, l_a + sign * r_a, l_b + sign * r_b
+        if expr.op == "*":
+            if l_attr is not None and r_attr is not None:
+                return None  # attr * attr: quadratic
+            if l_attr is None:
+                return r_attr, l_b * r_a, l_b * r_b
+            return l_attr, l_a * r_b, l_b * r_b
+        if expr.op == "/":
+            if r_attr is not None or r_b == 0:
+                return None  # dividing by an attribute or by zero
+            return l_attr, l_a / r_b, l_b / r_b
+    return None
+
+
+def canonical_text(expr: Expression) -> str:
+    """Deterministic textual form, used in grouping signatures and keys."""
+    return str(expr)
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalize a join value so equal values hash and print identically.
+
+    The paper treats numeric values "as strings" when building
+    identifiers (Section 4.2); integral floats (e.g. from a division in
+    a T2 expression) must therefore collapse onto their integer form or
+    the two sides of ``R.A = S.B / 2`` could hash to different
+    identifiers despite being equal.
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, bool):  # bool is an int subclass; keep it stable
+        return int(value)
+    return value

@@ -1,0 +1,184 @@
+"""N-way chain join queries (extension; the thesis' future work).
+
+The paper evaluates two-way joins and names multi-way joins as future
+work — the authors' follow-up ("Continuous multi-way joins over DHTs",
+Idreos/Liarou/Koubarakis) decomposes an N-way join into a pipeline of
+two-way joins whose intermediate results are re-published into the
+network.  This module provides the query model for that extension:
+
+* a :class:`MultiwayQuery` joins ``n >= 2`` relations with ``n - 1``
+  equality conditions over bare attributes, plus optional local
+  filters;
+* the join graph must be a **path** (a chain): every relation connects
+  to at most two others, so the pipeline order is unambiguous.
+
+The evaluation machinery lives in :mod:`repro.core.multiway`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import QueryError
+from .expr import AttrRef, Expression, is_single_attribute
+from .parser import _Parser, tokenize
+from .query import LocalFilter
+from .schema import Schema
+
+
+@dataclass(frozen=True)
+class ChainCondition:
+    """One equality ``R.x = S.y`` between two relations of the chain."""
+
+    left: AttrRef
+    right: AttrRef
+
+    def relations(self) -> frozenset[str]:
+        return frozenset((self.left.relation, self.right.relation))
+
+    def attribute_for(self, relation: str) -> str:
+        if self.left.relation == relation:
+            return self.left.attribute
+        if self.right.relation == relation:
+            return self.right.attribute
+        raise QueryError(f"condition {self} does not involve {relation}")
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class MultiwayQuery:
+    """An N-way chain equi-join.
+
+    ``relations`` is ordered along the chain; ``conditions[k]`` links
+    ``relations[k]`` (or an earlier relation — conditions may reference
+    any already-joined relation, but chain shape restricts this to the
+    adjacent one) with ``relations[k + 1]``.
+    """
+
+    select: tuple[AttrRef, ...]
+    relations: tuple[str, ...]
+    conditions: tuple[ChainCondition, ...]
+    filters: dict[str, tuple[LocalFilter, ...]]
+
+    def __post_init__(self):
+        if len(self.relations) < 2:
+            raise QueryError("a multiway query needs at least two relations")
+        if len(self.conditions) != len(self.relations) - 1:
+            raise QueryError(
+                f"a chain over {len(self.relations)} relations needs exactly "
+                f"{len(self.relations) - 1} join conditions"
+            )
+        for ref in self.select:
+            if ref.relation not in self.relations:
+                raise QueryError(
+                    f"select attribute {ref} references a relation outside FROM"
+                )
+
+    def filters_for(self, relation: str) -> tuple[LocalFilter, ...]:
+        return self.filters.get(relation, ())
+
+    def condition_for_step(self, step: int) -> ChainCondition:
+        """The condition joining ``relations[step + 1]`` to the prefix."""
+        return self.conditions[step]
+
+    def __str__(self) -> str:
+        select = ", ".join(str(ref) for ref in self.select)
+        conjuncts = [str(c) for c in self.conditions]
+        for relation in self.relations:
+            conjuncts.extend(
+                f"{relation}.{f}" for f in self.filters_for(relation)
+            )
+        return (
+            f"SELECT {select} FROM {', '.join(self.relations)} "
+            f"WHERE {' AND '.join(conjuncts)}"
+        )
+
+
+def _order_chain(
+    relations: list[str], raw_conditions: list[tuple[Expression, Expression]]
+) -> tuple[tuple[str, ...], tuple[ChainCondition, ...]]:
+    """Order the relations along the join path.
+
+    Builds the join graph, verifies it is a simple path covering every
+    relation, and returns (ordered relations, conditions in step order).
+    """
+    conditions: list[ChainCondition] = []
+    for left, right in raw_conditions:
+        if not (is_single_attribute(left) and is_single_attribute(right)):
+            raise QueryError(
+                "multiway join conditions must be bare attribute equalities"
+            )
+        conditions.append(ChainCondition(left, right))
+
+    adjacency: dict[str, list[ChainCondition]] = {name: [] for name in relations}
+    seen_pairs: set[frozenset[str]] = set()
+    for condition in conditions:
+        pair = condition.relations()
+        if len(pair) != 2:
+            raise QueryError(f"condition {condition} must span two relations")
+        if pair in seen_pairs:
+            raise QueryError(f"duplicate join condition between {sorted(pair)}")
+        seen_pairs.add(pair)
+        for name in pair:
+            adjacency[name].append(condition)
+
+    degrees = {name: len(edges) for name, edges in adjacency.items()}
+    if any(degree == 0 for degree in degrees.values()):
+        raise QueryError("join graph is disconnected")
+    if any(degree > 2 for degree in degrees.values()):
+        raise QueryError(
+            "join graph must be a chain (a relation joins at most two others)"
+        )
+    endpoints = [name for name, degree in degrees.items() if degree == 1]
+    if len(relations) > 2 and len(endpoints) != 2:
+        raise QueryError("join graph must be an acyclic chain")
+
+    # Walk the path from a deterministic endpoint (FROM-clause order).
+    start = next(name for name in relations if degrees[name] == 1) if len(
+        relations
+    ) > 2 else relations[0]
+    ordered = [start]
+    ordered_conditions: list[ChainCondition] = []
+    used: set[frozenset[str]] = set()
+    current = start
+    while len(ordered) < len(relations):
+        next_condition = None
+        for condition in adjacency[current]:
+            if condition.relations() not in used:
+                next_condition = condition
+                break
+        if next_condition is None:
+            raise QueryError("join graph is disconnected")
+        used.add(next_condition.relations())
+        other = next(
+            name for name in next_condition.relations() if name != current
+        )
+        ordered.append(other)
+        ordered_conditions.append(next_condition)
+        current = other
+    return tuple(ordered), tuple(ordered_conditions)
+
+
+def parse_multiway_query(
+    text: str, schema: Optional[Schema] = None
+) -> MultiwayQuery:
+    """Parse an N-way chain join (same SQL dialect, ``n >= 2`` relations).
+
+    >>> q = parse_multiway_query(
+    ...     "SELECT R.A, T.Z FROM R, S, T WHERE R.B = S.E AND S.F = T.Y"
+    ... )
+    >>> q.relations
+    ('R', 'S', 'T')
+    """
+    parser = _Parser(tokenize(text), schema)
+    select, relations, raw_conditions, filters = parser.parse_multiway_parts()
+    ordered_relations, conditions = _order_chain(relations, raw_conditions)
+    return MultiwayQuery(
+        select=tuple(select),
+        relations=ordered_relations,
+        conditions=conditions,
+        filters={name: tuple(f) for name, f in filters.items()},
+    )

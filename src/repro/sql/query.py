@@ -1,0 +1,420 @@
+"""Continuous two-way equi-join queries and their rewritten forms.
+
+Implements the query model of Section 3.2 and the rewriting vocabulary
+of Chapter 4:
+
+* a :class:`JoinQuery` is ``SELECT ... FROM R, S WHERE α = β`` with
+  optional conjoined local equality filters (``AND S.C = 10``);
+* queries are **type T1** when both ``α`` and ``β`` are single
+  attributes (so the equality has a unique solution over the attribute
+  domains) and **type T2** otherwise;
+* a :class:`RewrittenQuery` is the select-project query produced when an
+  incoming tuple triggers a query at a rewriter node: the triggering
+  relation's attributes are replaced by values and the query is
+  reindexed at the value level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from ..errors import QueryError
+from .expr import (
+    AttrRef,
+    Const,
+    Expression,
+    attributes_of,
+    canonical_text,
+    canonical_value,
+    evaluate,
+    is_single_attribute,
+    linear_form,
+    relations_of,
+    substitute,
+)
+
+#: Labels for the two sides of a join condition.  The DAI algorithms
+#: index a query once per side (``q_L`` / ``q_R`` in the paper).
+LEFT = "left"
+RIGHT = "right"
+
+
+@dataclass(frozen=True)
+class LocalFilter:
+    """A conjoined equality predicate over one relation (``A.Surname = 'Smith'``)."""
+
+    attribute: str
+    value: Any
+
+    def holds(self, tuple_like) -> bool:
+        """Test the predicate against a tuple of the filter's relation."""
+        return tuple_like.value(self.attribute) == self.value
+
+    def __str__(self) -> str:
+        rendered = repr(self.value) if isinstance(self.value, str) else str(self.value)
+        return f"{self.attribute}={rendered}"
+
+
+@dataclass(frozen=True)
+class QuerySide:
+    """One side of the join: a relation, its join expression, filters."""
+
+    relation: str
+    expr: Expression
+    filters: tuple[LocalFilter, ...] = ()
+
+    def __post_init__(self):
+        referenced = relations_of(self.expr)
+        if referenced - {self.relation}:
+            raise QueryError(
+                f"side expression {self.expr} references relations "
+                f"{referenced - {self.relation}} outside {self.relation}"
+            )
+        if not referenced:
+            raise QueryError(
+                f"side expression {self.expr} references no attribute of "
+                f"{self.relation}"
+            )
+
+    @property
+    def join_attributes(self) -> tuple[str, ...]:
+        """Attributes of this relation appearing in the join expression,
+        sorted for determinism."""
+        return tuple(sorted(ref.attribute for ref in attributes_of(self.expr)))
+
+    @property
+    def single_attribute(self) -> Optional[str]:
+        """The attribute name if the expression is a bare attribute."""
+        return self.expr.attribute if is_single_attribute(self.expr) else None
+
+    @property
+    def invertible_attribute(self) -> Optional[str]:
+        """The attribute if the side is linear in exactly one attribute.
+
+        This is the paper's full T1 criterion: ``a * X + b = v`` has the
+        unique solution ``X = (v - b) / a``, so the side can be solved
+        for the attribute value that satisfies the join condition.
+        Bare attributes are the ``a = 1, b = 0`` special case.
+        """
+        form = linear_form(self.expr)
+        return form[0].attribute if form is not None else None
+
+    def solve_for_attribute(self, target_value: Any) -> Any:
+        """The value this side's attribute must take so expr == target.
+
+        Only valid when :attr:`invertible_attribute` is not None.
+        """
+        form = linear_form(self.expr)
+        if form is None:
+            raise QueryError(
+                f"side expression {self.expr} is not invertible"
+            )
+        _, a, b = form
+        if a == 1 and b == 0:
+            # Identity: also covers non-numeric domains (string joins).
+            return canonical_value(target_value)
+        try:
+            return canonical_value((target_value - b) / a)
+        except TypeError as exc:
+            raise QueryError(
+                f"cannot solve {self.expr} = {target_value!r}: {exc}"
+            ) from exc
+
+    def accepts(self, tuple_like) -> bool:
+        """True when a tuple satisfies every local filter of this side."""
+        return all(f.holds(tuple_like) for f in self.filters)
+
+    def signature(self) -> str:
+        """Canonical text used for query grouping (Section 4.3.5)."""
+        filters = ",".join(str(f) for f in sorted(self.filters, key=str))
+        return f"{self.relation}:{canonical_text(self.expr)}[{filters}]"
+
+
+@dataclass(frozen=True)
+class Subscriber:
+    """Identity of the node that posed a query (Section 4.6).
+
+    ``ident`` is ``Id(n) = Hash(Key(n))`` and ``ip`` the address used
+    for one-hop notification delivery while the subscriber is online.
+    """
+
+    key: str
+    ident: int
+    ip: str
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A continuous two-way equi-join query.
+
+    Built by the parser without subscription metadata; the engine binds
+    ``key``, ``insertion_time`` and ``subscriber`` via
+    :meth:`with_subscription` when the query enters the network.
+    """
+
+    select: tuple[AttrRef, ...]
+    left: QuerySide
+    right: QuerySide
+    key: str = ""
+    insertion_time: float = 0.0
+    subscriber: Optional[Subscriber] = None
+
+    def __post_init__(self):
+        if self.left.relation == self.right.relation:
+            raise QueryError(
+                "self-joins are not supported (both sides reference "
+                f"{self.left.relation})"
+            )
+        for ref in self.select:
+            if ref.relation not in (self.left.relation, self.right.relation):
+                raise QueryError(
+                    f"select attribute {ref} references a relation outside "
+                    f"the FROM clause"
+                )
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def query_type(self) -> str:
+        """``"T1"`` or ``"T2"`` (Section 3.2).
+
+        T1: each side involves a single attribute and the equality has
+        a unique solution — i.e. both sides are linear in one attribute
+        (bare attributes are the common special case).  Everything else
+        (multi-attribute or non-linear sides) is T2 and can only be
+        evaluated by DAI-V.
+        """
+        if self.left.invertible_attribute and self.right.invertible_attribute:
+            return "T1"
+        return "T2"
+
+    # ------------------------------------------------------------------
+    # Side access
+    # ------------------------------------------------------------------
+    def side(self, label: str) -> QuerySide:
+        if label == LEFT:
+            return self.left
+        if label == RIGHT:
+            return self.right
+        raise QueryError(f"unknown side label {label!r}")
+
+    def other_label(self, label: str) -> str:
+        if label == LEFT:
+            return RIGHT
+        if label == RIGHT:
+            return LEFT
+        raise QueryError(f"unknown side label {label!r}")
+
+    def side_for_relation(self, relation: str) -> str:
+        """Which side (label) a relation sits on."""
+        if relation == self.left.relation:
+            return LEFT
+        if relation == self.right.relation:
+            return RIGHT
+        raise QueryError(f"relation {relation} not part of query {self.key!r}")
+
+    def index_attribute(self, label: str) -> str:
+        """The attribute used to index this query on side ``label``.
+
+        For T1 sides it is *the* join attribute; for T2 sides (DAI-V)
+        one representative attribute is chosen deterministically —
+        "the query will be indexed ... according to one of the
+        attributes in the left part of the join condition" (§4.5).
+        """
+        side = self.side(label)
+        single = side.single_attribute
+        if single is not None:
+            return single
+        return side.join_attributes[0]
+
+    # ------------------------------------------------------------------
+    # Grouping
+    # ------------------------------------------------------------------
+    def join_signature(self) -> str:
+        """Canonical identity of the join condition, for grouping.
+
+        "All queries that have equivalent join condition are grouped
+        together at each rewriter and evaluator node" (Section 4.3.5).
+        """
+        return f"{self.left.signature()}={self.right.signature()}"
+
+    # ------------------------------------------------------------------
+    # Subscription binding
+    # ------------------------------------------------------------------
+    def with_subscription(
+        self, key: str, insertion_time: float, subscriber: Subscriber
+    ) -> "JoinQuery":
+        """Return a copy bound to a subscriber at submission time."""
+        return replace(
+            self, key=key, insertion_time=insertion_time, subscriber=subscriber
+        )
+
+    def __str__(self) -> str:
+        select = ", ".join(str(ref) for ref in self.select)
+        conjuncts = [f"{self.left.expr} = {self.right.expr}"]
+        for side in (self.left, self.right):
+            conjuncts.extend(f"{side.relation}.{f}" for f in side.filters)
+        return (
+            f"SELECT {select} FROM {self.left.relation}, {self.right.relation} "
+            f"WHERE {' AND '.join(conjuncts)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Select items of rewritten queries
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BoundValue:
+    """A select item already replaced by a value from the trigger tuple."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class PendingAttr:
+    """A select item still to be read from a matching dis-side tuple."""
+
+    attribute: str
+
+
+SelectItem = BoundValue | PendingAttr
+
+
+@dataclass(frozen=True)
+class RewrittenQuery:
+    """A select-project query produced by rewriting a join query.
+
+    Example from Section 4.3.2: triggering
+    ``SELECT R.A, S.B FROM R, S WHERE R.C = S.C`` with ``S(3, 4, 7)``
+    yields ``SELECT R.A, 4 FROM R WHERE R.C = 7``, reindexed at
+    ``Successor(Hash("R" + "C" + "7"))``.
+    """
+
+    #: ``Key(q') = Key(q) + v_1 + ... + v_l + valDA`` (Section 4.3.3).
+    key: str
+    original_key: str
+    group_signature: str
+    subscriber: Subscriber
+    insertion_time: float
+    #: The load-distributing relation whose tuples can satisfy this query.
+    relation: str
+    #: The dis-side join expression (over ``relation``).
+    expr: Expression
+    #: The value the dis-side *expression* must take (``valJC``).
+    required_value: Any
+    #: ``DisA`` — the level-1 VLQT key for SAI/DAI-Q/DAI-T; ``None``
+    #: when the dis side is not invertible (T2, DAI-V only).
+    dis_attribute: Optional[str]
+    #: ``valDA`` — the solved value of ``DisA`` (equals
+    #: ``required_value`` for bare-attribute sides); ``None`` when the
+    #: dis side is not invertible.
+    dis_value: Any
+    filters: tuple[LocalFilter, ...]
+    select: tuple[SelectItem, ...]
+    #: ``pubT`` of the tuple that triggered the rewrite — "the time
+    #: information is necessary when creating notifications".
+    trigger_pub_time: float
+
+    def matches(self, tuple_like, *, check_value: bool = True) -> bool:
+        """Does a dis-relation tuple satisfy this rewritten query?
+
+        Checks the local filters, the time semantics
+        (``pubT >= insT(q)``) and — unless the caller already guarantees
+        it through hash placement — the join-value equality.
+        """
+        if tuple_like.pub_time < self.insertion_time:
+            return False
+        if not all(f.holds(tuple_like) for f in self.filters):
+            return False
+        if check_value:
+            try:
+                if evaluate(self.expr, tuple_like) != self.required_value:
+                    return False
+            except QueryError:
+                return False
+        return True
+
+    def result_row(self, tuple_like) -> tuple[Any, ...]:
+        """Materialize the notification row from a matching tuple."""
+        row = []
+        for item in self.select:
+            if isinstance(item, BoundValue):
+                row.append(item.value)
+            else:
+                row.append(tuple_like.value(item.attribute))
+        return tuple(row)
+
+    @property
+    def needed_attributes(self) -> tuple[str, ...]:
+        """Dis-relation attributes required to evaluate and project.
+
+        Determines the DAI-V projection: select attributes still
+        pending, the join-expression attributes, and filter attributes.
+        """
+        needed = {item.attribute for item in self.select if isinstance(item, PendingAttr)}
+        needed.update(ref.attribute for ref in attributes_of(self.expr))
+        needed.update(f.attribute for f in self.filters)
+        return tuple(sorted(needed))
+
+
+def rewrite(query: JoinQuery, index_label: str, trigger) -> RewrittenQuery:
+    """Rewrite ``query`` triggered by tuple ``trigger`` on side ``index_label``.
+
+    Replaces every attribute of the index relation in the Select and
+    Where clauses with the trigger tuple's values (Section 4.3.2),
+    computes the value the remaining side must take, and forms the
+    rewritten-query key.
+    """
+    index_side = query.side(index_label)
+    dis_label = query.other_label(index_label)
+    dis_side = query.side(dis_label)
+
+    if trigger.relation.name != index_side.relation:
+        raise QueryError(
+            f"tuple of {trigger.relation.name} cannot trigger side "
+            f"{index_label} ({index_side.relation}) of query {query.key!r}"
+        )
+
+    substituted = substitute(index_side.expr, index_side.relation, trigger)
+    if not isinstance(substituted, Const):
+        raise QueryError(
+            f"index-side expression {index_side.expr} did not fold to a "
+            f"constant for tuple {trigger}"
+        )
+    required_value = canonical_value(substituted.value)
+    dis_attribute = dis_side.invertible_attribute
+    dis_value = (
+        dis_side.solve_for_attribute(required_value)
+        if dis_attribute is not None
+        else None
+    )
+
+    select_items: list[SelectItem] = []
+    bound_values: list[Any] = []
+    for ref in query.select:
+        if ref.relation == index_side.relation:
+            value = trigger.value(ref.attribute)
+            select_items.append(BoundValue(value))
+            bound_values.append(value)
+        else:
+            select_items.append(PendingAttr(ref.attribute))
+
+    key_parts = [query.key, *[str(v) for v in bound_values], str(required_value)]
+    return RewrittenQuery(
+        key="+".join(key_parts),
+        original_key=query.key,
+        group_signature=query.join_signature(),
+        subscriber=query.subscriber,
+        insertion_time=query.insertion_time,
+        relation=dis_side.relation,
+        expr=dis_side.expr,
+        required_value=required_value,
+        dis_attribute=dis_attribute,
+        dis_value=dis_value,
+        filters=dis_side.filters,
+        select=tuple(select_items),
+        trigger_pub_time=trigger.pub_time,
+    )

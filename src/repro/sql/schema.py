@@ -1,0 +1,116 @@
+"""Relational schema objects (Section 3.2).
+
+Data is described by the relational model; different schemas can
+co-exist in the network (schema mappings are not supported, as in
+PIER).  A :class:`Relation` is a name plus an ordered list of attribute
+names; a :class:`Schema` is a set of relations known to an application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SchemaError
+
+
+def _check_identifier(name: str, kind: str) -> str:
+    if not name or not name.replace("_", "a").isalnum() or name[0].isdigit():
+        raise SchemaError(f"invalid {kind} name: {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation schema ``R(A_1, ..., A_h)``."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self):
+        _check_identifier(self.name, "relation")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name} needs at least one attribute")
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            _check_identifier(attribute, "attribute")
+            if attribute in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attribute!r} in relation {self.name}"
+                )
+            seen.add(attribute)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes (the paper's ``h``)."""
+        return len(self.attributes)
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` (SchemaError if absent)."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {attribute!r}"
+            ) from None
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class Schema:
+    """A collection of relations, addressable by name."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> Relation:
+        """Register a relation; duplicates are rejected."""
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name} already defined")
+        self._relations[relation.name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name (SchemaError if unknown)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._relations)
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Iterable[str]]) -> "Schema":
+        """Build a schema from ``{"R": ["A", "B"], ...}``."""
+        return cls(Relation(name, tuple(attrs)) for name, attrs in spec.items())
+
+
+def example_elearning_schema() -> Schema:
+    """The e-learning schema of the paper's running example (Section 3.2).
+
+    ``Document(Id, Title, Conference, AuthorId)`` and
+    ``Authors(Id, Name, Surname)``.
+    """
+    return Schema.from_dict(
+        {
+            "Document": ["Id", "Title", "Conference", "AuthorId"],
+            "Authors": ["Id", "Name", "Surname"],
+        }
+    )

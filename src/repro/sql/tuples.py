@@ -1,0 +1,104 @@
+"""Data tuples with publication-time semantics (Section 3.2).
+
+Every tuple ``t`` carries its *publication time* ``pubT(t)``: the time
+it was inserted into the system.  A tuple can trigger a query ``q`` only
+if ``pubT(t) >= insT(q)`` — continuous queries see only data published
+after they were posed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import SchemaError
+from .schema import Relation
+
+
+@dataclass(frozen=True)
+class DataTuple:
+    """An immutable tuple of a relation.
+
+    ``values`` is aligned with ``relation.attributes``; construction via
+    :meth:`make` accepts a mapping and validates it against the schema.
+    """
+
+    relation: Relation
+    values: tuple[Any, ...]
+    pub_time: float = 0.0
+
+    def __post_init__(self):
+        if len(self.values) != self.relation.arity:
+            raise SchemaError(
+                f"tuple arity {len(self.values)} does not match relation "
+                f"{self.relation.name} (expects {self.relation.arity})"
+            )
+
+    @classmethod
+    def make(
+        cls,
+        relation: Relation,
+        values: Mapping[str, Any],
+        pub_time: float = 0.0,
+    ) -> "DataTuple":
+        """Build a tuple from an attribute→value mapping."""
+        missing = [a for a in relation.attributes if a not in values]
+        if missing:
+            raise SchemaError(
+                f"tuple for {relation.name} is missing attributes {missing}"
+            )
+        extra = [a for a in values if not relation.has_attribute(a)]
+        if extra:
+            raise SchemaError(
+                f"tuple for {relation.name} has unknown attributes {extra}"
+            )
+        ordered = tuple(values[a] for a in relation.attributes)
+        return cls(relation, ordered, pub_time)
+
+    def value(self, attribute: str) -> Any:
+        """Value of ``attribute`` (SchemaError if the attribute is unknown)."""
+        return self.values[self.relation.index_of(attribute)]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Attribute→value view of this tuple."""
+        return dict(zip(self.relation.attributes, self.values))
+
+    def project(self, attributes: tuple[str, ...]) -> "ProjectedTuple":
+        """Projection onto a subset of attributes (used by DAI-V, §4.5).
+
+        The DAI-V rewriter ships only "the projection of t on the
+        attributes needed for the evaluation of the join", so evaluators
+        store less state.
+        """
+        return ProjectedTuple(
+            relation_name=self.relation.name,
+            items=tuple((a, self.value(a)) for a in attributes),
+            pub_time=self.pub_time,
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class ProjectedTuple:
+    """A tuple projected onto a subset of its attributes."""
+
+    relation_name: str
+    items: tuple[tuple[str, Any], ...]
+    pub_time: float = 0.0
+
+    def value(self, attribute: str) -> Any:
+        for name, value in self.items:
+            if name == attribute:
+                return value
+        raise SchemaError(
+            f"projected tuple of {self.relation_name} lacks {attribute!r}"
+        )
+
+    def has(self, attribute: str) -> bool:
+        return any(name == attribute for name, _ in self.items)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.items)

@@ -1,0 +1,31 @@
+"""Synthetic workloads: schemas, value distributions, query/tuple streams."""
+
+from .distributions import (
+    PermutedZipf,
+    UniformValues,
+    ValueDistribution,
+    ZipfValues,
+    empirical_skew,
+)
+from .generator import (
+    Workload,
+    WorkloadEvent,
+    WorkloadGenerator,
+    WorkloadParams,
+    build_workload,
+)
+from .schema_gen import synthetic_schema
+
+__all__ = [
+    "PermutedZipf",
+    "UniformValues",
+    "ValueDistribution",
+    "Workload",
+    "WorkloadEvent",
+    "WorkloadGenerator",
+    "WorkloadParams",
+    "ZipfValues",
+    "build_workload",
+    "empirical_skew",
+    "synthetic_schema",
+]

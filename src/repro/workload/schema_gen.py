@@ -1,0 +1,37 @@
+"""Synthetic schema construction for experiments.
+
+The experiments use simple schemas of a few relations with a handful
+of attributes each, all sharing integer domains so that equi-joins
+across relations actually produce matches.
+"""
+
+from __future__ import annotations
+
+from ..sql.schema import Relation, Schema
+
+
+def synthetic_schema(
+    n_relations: int = 2,
+    attributes_per_relation: int = 4,
+    relation_prefix: str = "R",
+    attribute_prefix: str = "a",
+) -> Schema:
+    """A schema of ``n_relations`` relations ``R0, R1, ...``.
+
+    Every relation gets attributes ``a0 .. a{k-1}``; attribute names
+    repeat across relations (as in real schemas) but the two-level
+    indexing always prefixes attribute names with relation names, so
+    repeats exercise exactly the disambiguation the paper relies on.
+    """
+    if n_relations < 2:
+        raise ValueError("experiments need at least two relations to join")
+    if attributes_per_relation < 1:
+        raise ValueError("relations need at least one attribute")
+    relations = [
+        Relation(
+            f"{relation_prefix}{index}",
+            tuple(f"{attribute_prefix}{j}" for j in range(attributes_per_relation)),
+        )
+        for index in range(n_relations)
+    ]
+    return Schema(relations)

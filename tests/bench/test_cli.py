@@ -1,0 +1,30 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCLI:
+    def test_runs_single_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["--only", "T1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 4.1" in output
+
+    def test_scale_flag_overrides_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert main(["--only", "T1", "--scale", "smoke"]) == 0
+
+    def test_unknown_experiment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        with pytest.raises(SystemExit):
+            main(["--only", "E99"])
+
+    def test_write_markdown(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        out = tmp_path / "results.md"
+        assert main(["--only", "T1", "--write-md", str(out)]) == 0
+        content = out.read_text()
+        assert content.startswith("# Experiment results")
+        assert "### T1" in content

@@ -1,0 +1,90 @@
+"""Tests for experiment-result rendering."""
+
+from repro.bench.report import ExperimentResult, render_table
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment="E0",
+        figure="Figure 0.0 — test",
+        title="a test table",
+        columns=["name", "count", "ratio"],
+        rows=[
+            {"name": "alpha", "count": 12000, "ratio": 1.5},
+            {"name": "beta", "count": 7, "ratio": 0.333333},
+        ],
+        notes="some notes",
+    )
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        text = render_table(["a", "b"], [{"a": 1, "b": "x"}])
+        assert "a" in text and "b" in text and "x" in text
+
+    def test_missing_cell_rendered_as_none(self):
+        text = render_table(["a", "b"], [{"a": 1}])
+        assert "None" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_large_ints_thousands_separated(self):
+        text = render_table(["n"], [{"n": 1234567}])
+        assert "1,234,567" in text
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [{"x": 0.333333}])
+        assert "0.333" in text
+
+
+class TestExperimentResult:
+    def test_to_text(self):
+        text = sample_result().to_text()
+        assert "E0" in text
+        assert "Figure 0.0" in text
+        assert "alpha" in text
+        assert "some notes" in text
+
+    def test_to_markdown(self):
+        md = sample_result().to_markdown()
+        assert md.startswith("### E0")
+        assert "| name | count | ratio |" in md
+        assert "| alpha |" in md
+
+    def test_column_values(self):
+        assert sample_result().column_values("name") == ["alpha", "beta"]
+
+    def test_column_values_missing(self):
+        assert sample_result().column_values("nope") == [None, None]
+
+
+class TestAsciiCurve:
+    def test_empty(self):
+        from repro.bench.report import ascii_curve
+
+        assert "(empty)" in ascii_curve([], label="x")
+
+    def test_all_zero(self):
+        from repro.bench.report import ascii_curve
+
+        assert "(all zero)" in ascii_curve([0, 0, 0], label="x")
+
+    def test_shape_and_label(self):
+        from repro.bench.report import ascii_curve
+
+        chart = ascii_curve([10, 8, 5, 2, 1, 0], label="loads", height=4)
+        assert chart.startswith("loads")
+        assert "max = 10" in chart
+        assert "most loaded first" in chart
+        # 4 grid rows + header + axis.
+        assert len(chart.splitlines()) == 6
+
+    def test_downsampling_keeps_peak(self):
+        from repro.bench.report import ascii_curve
+
+        values = [1.0] * 500
+        values[0] = 99.0
+        chart = ascii_curve(values, width=10)
+        assert "max = 99" in chart

@@ -1,0 +1,136 @@
+"""Hypothesis stateful testing of Chord under arbitrary churn.
+
+A rule-based state machine performs random joins, voluntary leaves,
+failures and stabilization rounds; invariants checked throughout:
+
+* after stabilization, the ring is consistent with the oracle ordering;
+* routed lookups from arbitrary nodes find the oracle-responsible node;
+* key/value items survive joins and voluntary leaves (tracked through
+  the transfer hook).
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.chord import ChordNetwork
+
+MAX_NODES = 24
+MIN_NODES = 3
+
+
+class ChurningChord(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.network = None
+        self.rng = random.Random(99)
+        self.join_counter = 0
+        #: item ident -> payload; payloads live on node.app dicts.
+        self.items = {}
+
+    # -- helpers --------------------------------------------------------
+    def _place_items(self):
+        """(Re)assert that every tracked item sits on its oracle owner."""
+        for ident, payload in self.items.items():
+            owner = self.network.responsible_node(ident)
+            store = owner.app if isinstance(owner.app, dict) else {}
+            assert store.get(ident) == payload, (
+                f"item {ident} not at oracle owner {owner.ident}"
+            )
+
+    @staticmethod
+    def _transfer(source, target):
+        source_store = source.app if isinstance(source.app, dict) else {}
+        target_store = target.app if isinstance(target.app, dict) else {}
+        for ident in list(source_store):
+            if target.owns(ident):
+                target_store[ident] = source_store.pop(ident)
+        source.app = source_store
+        target.app = target_store
+
+    # -- rules ------------------------------------------------------------
+    @initialize(size=st.integers(min_value=MIN_NODES, max_value=10))
+    def build(self, size):
+        self.network = ChordNetwork.build(size)
+        for node in self.network:
+            node.app = {}
+        self.network.transfer_hook = self._transfer
+
+    @rule(data=st.integers(min_value=0, max_value=2**31))
+    def store_item(self, data):
+        ident = data % self.network.space.size
+        owner = self.network.responsible_node(ident)
+        store = owner.app if isinstance(owner.app, dict) else {}
+        store[ident] = data
+        owner.app = store
+        self.items[ident] = data
+
+    @precondition(lambda self: len(self.network) < MAX_NODES)
+    @rule()
+    def join(self):
+        self.join_counter += 1
+        node = self.network.join(f"churner-{self.join_counter}")
+        if not isinstance(node.app, dict):
+            node.app = {}
+        self.network.run_stabilization(2, fix_all_fingers=True)
+
+    @precondition(lambda self: len(self.network) > MIN_NODES)
+    @rule()
+    def leave(self):
+        victim = self.network.random_node(self.rng)
+        self.network.leave(victim)
+        self.network.run_stabilization(2, fix_all_fingers=True)
+
+    @precondition(lambda self: len(self.network) > MIN_NODES)
+    @rule()
+    def fail(self):
+        victim = self.network.random_node(self.rng)
+        # Items on a failed node are lost (best effort); stop tracking.
+        if isinstance(victim.app, dict):
+            for ident in victim.app:
+                self.items.pop(ident, None)
+        self.network.fail(victim)
+        self.network.run_stabilization(3, fix_all_fingers=True)
+
+    @rule()
+    def stabilize(self):
+        self.network.run_stabilization(1)
+
+    # -- invariants -------------------------------------------------------
+    @invariant()
+    def ring_consistent(self):
+        if self.network is None:
+            return
+        self.network.run_stabilization(1, fix_all_fingers=True)
+        assert self.network.ring_is_consistent()
+
+    @invariant()
+    def lookups_correct(self):
+        if self.network is None:
+            return
+        for _ in range(3):
+            ident = self.rng.randrange(self.network.space.size)
+            start = self.network.random_node(self.rng)
+            found, hops = self.network.router.find_successor(start, ident)
+            assert found is self.network.responsible_node(ident)
+            assert hops <= self.network.router.max_hops
+
+    @invariant()
+    def items_at_owners(self):
+        if self.network is None:
+            return
+        self._place_items()
+
+
+ChurningChordTest = ChurningChord.TestCase
+ChurningChordTest.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,78 @@
+"""Tests for consistent hashing and key construction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chord.hashing import DEFAULT_M, SHA1_BITS, ConsistentHash, make_key
+from repro.errors import ReproError
+
+
+class TestMakeKey:
+    def test_concatenates_with_separator(self):
+        assert make_key("R", "B", 7) == "R|B|7"
+
+    def test_numeric_values_become_strings(self):
+        assert make_key("R", "B", 3.5) == "R|B|3.5"
+
+    def test_single_part(self):
+        assert make_key("25") == "25"
+
+    def test_disambiguates_concatenation(self):
+        # Plain concatenation would make these collide.
+        assert make_key("RA", "B") != make_key("R", "AB")
+
+
+class TestConsistentHash:
+    def test_deterministic(self):
+        h = ConsistentHash()
+        assert h("hello") == h("hello")
+
+    def test_same_m_same_function(self):
+        assert ConsistentHash(32)("x") == ConsistentHash(32)("x")
+
+    def test_different_m_truncates_differently(self):
+        full = ConsistentHash(SHA1_BITS)("x")
+        small = ConsistentHash(16)("x")
+        assert small == full % (1 << 16)
+
+    def test_range(self):
+        h = ConsistentHash(12)
+        for key in ("a", "b", "R|B|7", ""):
+            assert 0 <= h(key) < 4096
+
+    def test_hash_parts_matches_make_key(self):
+        h = ConsistentHash()
+        assert h.hash_parts("R", "B", 7) == h(make_key("R", "B", 7))
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ValueError):
+            ConsistentHash(4)
+
+    def test_rejects_huge_m(self):
+        with pytest.raises(ValueError):
+            ConsistentHash(SHA1_BITS + 1)
+
+    def test_equality_and_hash(self):
+        assert ConsistentHash(32) == ConsistentHash(32)
+        assert ConsistentHash(32) != ConsistentHash(16)
+        assert hash(ConsistentHash(32)) == hash(ConsistentHash(32))
+
+    def test_default_m(self):
+        assert ConsistentHash().m == DEFAULT_M
+
+    @given(st.text(max_size=50), st.integers(min_value=8, max_value=64))
+    def test_property_in_range(self, key, m):
+        h = ConsistentHash(m)
+        assert 0 <= h(key) < (1 << m)
+
+    @given(st.lists(st.text(alphabet="abcXYZ019", max_size=8), min_size=1, max_size=4))
+    def test_property_key_roundtrip_is_stable(self, parts):
+        h = ConsistentHash()
+        assert h.hash_parts(*parts) == h.hash_parts(*parts)
+
+    def test_spread(self):
+        """Hash values should not cluster pathologically."""
+        h = ConsistentHash(16)
+        values = {h(f"key-{i}") for i in range(1000)}
+        # With 65536 slots and 1000 keys, expect nearly all distinct.
+        assert len(values) > 950

@@ -1,0 +1,55 @@
+"""Structural feasibility of the paper-scale network (10^4 nodes).
+
+The full paper-scale experiments are hours of simulation, but the
+substrate must *structurally* support them: a 10^4-node ring builds,
+is consistent, and routes in O(log N) hops.  This is the check behind
+the ``REPRO_SCALE=paper`` profile claim.
+"""
+
+import random
+
+import pytest
+
+from repro.chord import ChordNetwork
+
+
+@pytest.fixture(scope="module")
+def paper_network():
+    return ChordNetwork.build(10_000)
+
+
+class TestPaperScale:
+    def test_ring_builds_consistent(self, paper_network):
+        assert len(paper_network) == 10_000
+        assert paper_network.ring_is_consistent()
+
+    def test_lookups_logarithmic(self, paper_network):
+        rng = random.Random(17)
+        total = 0
+        trials = 100
+        for _ in range(trials):
+            ident = rng.randrange(paper_network.space.size)
+            start = paper_network.random_node(rng)
+            found, hops = paper_network.router.find_successor(start, ident)
+            assert found is paper_network.responsible_node(ident)
+            total += hops
+        mean_hops = total / trials
+        # O(log N): log2(10^4) ≈ 13.3; allow generous slack, but far
+        # below anything linear in N.
+        assert mean_hops < 2 * 13.3
+
+    def test_multisend_scales(self, paper_network):
+        from repro.chord.routing import multisend_cost
+
+        rng = random.Random(18)
+        source = paper_network.random_node(rng)
+        # Savings grow with the recipient count; at 10^4 nodes a batch
+        # of 256 recipients is where the clockwise sweep pays off.
+        idents = [rng.randrange(paper_network.space.size) for _ in range(256)]
+        recursive = multisend_cost(
+            paper_network.router, source, idents, recursive=True
+        )
+        iterative = multisend_cost(
+            paper_network.router, source, idents, recursive=False
+        )
+        assert recursive < iterative * 0.75

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ChordNetwork, ContinuousQueryEngine, EngineConfig, Schema
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_network():
+    """A stable 64-node ring (fresh per test)."""
+    return ChordNetwork.build(64)
+
+
+@pytest.fixture
+def tiny_network():
+    """A stable 8-node ring for fast protocol tests."""
+    return ChordNetwork.build(8)
+
+
+@pytest.fixture
+def two_relation_schema():
+    """The R/S schema used throughout the algorithm tests."""
+    return Schema.from_dict({"R": ["A", "B", "C"], "S": ["D", "E", "F"]})
+
+
+@pytest.fixture
+def engine_factory(two_relation_schema):
+    """Build an engine over a fresh network with the given config."""
+
+    def build(algorithm="sai", n_nodes=64, **config_kwargs):
+        config_kwargs.setdefault("index_choice", "random")
+        network = ChordNetwork.build(n_nodes)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm=algorithm, **config_kwargs)
+        )
+        return engine
+
+    return build
+
+
+@pytest.fixture
+def simple_join_sql():
+    return "SELECT R.A, S.D FROM R, S WHERE R.B = S.E"

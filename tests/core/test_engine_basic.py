@@ -1,0 +1,244 @@
+"""End-to-end behaviour of the engine under each algorithm."""
+
+import pytest
+
+from repro.errors import QueryError
+
+ALGORITHMS = ["sai", "dai-q", "dai-t", "dai-v"]
+
+
+@pytest.fixture(params=ALGORITHMS)
+def engine(request, engine_factory):
+    return engine_factory(algorithm=request.param)
+
+
+def relations(engine, schema):
+    return schema.relation("R"), schema.relation("S")
+
+
+class TestSingleJoin:
+    def test_basic_notification(self, engine, two_relation_schema, simple_join_sql):
+        R, S = relations(engine, two_relation_schema)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_order_independence(self, engine, two_relation_schema, simple_join_sql):
+        """S-then-R insertion produces the same answer as R-then-S."""
+        R, S = relations(engine, two_relation_schema)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_non_matching_values_silent(self, engine, two_relation_schema, simple_join_sql):
+        R, S = relations(engine, two_relation_schema)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 8, "F": 0})
+        assert engine.delivered_rows(query.key) == set()
+
+    def test_tuples_before_subscription_ignored(
+        self, engine, two_relation_schema, simple_join_sql
+    ):
+        """pubT(t) >= insT(q): older tuples never trigger (Section 3.2)."""
+        R, S = relations(engine, two_relation_schema)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == set()
+
+    def test_tuple_at_subscription_instant_triggers(
+        self, engine, two_relation_schema, simple_join_sql
+    ):
+        R, S = relations(engine, two_relation_schema)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        # Same logical instant: pubT == insT satisfies >=.
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_many_matches(self, engine, two_relation_schema, simple_join_sql):
+        R, S = relations(engine, two_relation_schema)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        for a in range(3):
+            engine.clock.advance(1)
+            engine.publish(engine.network.nodes[1], R, {"A": a, "B": 7, "C": 0})
+        for d in range(2):
+            engine.clock.advance(1)
+            engine.publish(engine.network.nodes[2], S, {"D": d, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {
+            ("7", (a, d)) for a in range(3) for d in range(2)
+        }
+
+    def test_local_filter_enforced(self, engine, two_relation_schema):
+        R, S = relations(engine, two_relation_schema)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(
+            subscriber,
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND S.F = 1",
+            two_relation_schema,
+        )
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[3], S, {"D": 3, "E": 7, "F": 1})
+        assert engine.delivered_rows(query.key) == {("7", (1, 3))}
+
+    def test_multiple_queries_same_condition(self, engine, two_relation_schema):
+        """Grouped queries are all answered."""
+        R, S = relations(engine, two_relation_schema)
+        first = engine.subscribe(
+            engine.network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        second = engine.subscribe(
+            engine.network.nodes[1],
+            "SELECT R.C, S.F FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], R, {"A": 1, "B": 7, "C": 5})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[3], S, {"D": 2, "E": 7, "F": 6})
+        assert engine.delivered_rows(first.key) == {("7", (1, 2))}
+        assert engine.delivered_rows(second.key) == {("7", (5, 6))}
+
+    def test_two_queries_different_conditions(self, engine, two_relation_schema):
+        R, S = relations(engine, two_relation_schema)
+        on_b = engine.subscribe(
+            engine.network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        on_c = engine.subscribe(
+            engine.network.nodes[1],
+            "SELECT R.A, S.D FROM R, S WHERE R.C = S.F",
+            two_relation_schema,
+        )
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], R, {"A": 1, "B": 7, "C": 9})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[3], S, {"D": 2, "E": 7, "F": 8})
+        assert engine.delivered_rows(on_b.key) == {("7", (1, 2))}
+        assert engine.delivered_rows(on_c.key) == set()
+
+
+class TestQueryTypeSupport:
+    def test_t2_only_on_daiv(self, engine_factory, two_relation_schema):
+        sql = "SELECT R.A, S.D FROM R, S WHERE R.B + R.C = S.E"
+        for algorithm in ("sai", "dai-q", "dai-t"):
+            engine = engine_factory(algorithm=algorithm)
+            with pytest.raises(QueryError):
+                engine.subscribe(engine.network.nodes[0], sql, two_relation_schema)
+
+    def test_daiv_evaluates_t2(self, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm="dai-v")
+        R = two_relation_schema.relation("R")
+        S = two_relation_schema.relation("S")
+        query = engine.subscribe(
+            engine.network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE 4 * R.B + R.C + 8 = 5 * S.E + S.D - S.F",
+            two_relation_schema,
+        )
+        engine.clock.advance(1)
+        # Left value: 4*4 + 9 + 8 = 33.
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 4, "C": 9})
+        engine.clock.advance(1)
+        # Right value: 5*6 + 5 - 2 = 33 — matches.
+        engine.publish(engine.network.nodes[2], S, {"D": 5, "E": 6, "F": 2})
+        engine.clock.advance(1)
+        # Right value: 5*6 + 5 - 3 = 32 — no match.
+        engine.publish(engine.network.nodes[3], S, {"D": 5, "E": 6, "F": 3})
+        assert engine.delivered_rows(query.key) == {("33", (1, 5))}
+
+    def test_daiv_t2_reverse_order(self, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm="dai-v")
+        R = two_relation_schema.relation("R")
+        S = two_relation_schema.relation("S")
+        query = engine.subscribe(
+            engine.network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE R.B + R.C = S.E + S.F",
+            two_relation_schema,
+        )
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 5, "E": 6, "F": 4})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 4, "C": 6})
+        assert engine.delivered_rows(query.key) == {("10", (1, 5))}
+
+
+class TestUnsubscribe:
+    def test_no_notifications_after_unsubscribe(
+        self, engine, two_relation_schema, simple_join_sql
+    ):
+        R, S = relations(engine, two_relation_schema)
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        engine.clock.advance(1)
+        engine.unsubscribe(subscriber, query)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == set()
+
+    def test_unknown_query_rejected(self, engine, two_relation_schema, simple_join_sql):
+        subscriber = engine.network.nodes[0]
+        query = engine.subscribe(subscriber, simple_join_sql, two_relation_schema)
+        engine.unsubscribe(subscriber, query)
+        with pytest.raises(QueryError):
+            engine.unsubscribe(subscriber, query)
+
+    def test_other_queries_unaffected(self, engine, two_relation_schema, simple_join_sql):
+        R, S = relations(engine, two_relation_schema)
+        keep = engine.subscribe(
+            engine.network.nodes[0], simple_join_sql, two_relation_schema
+        )
+        drop = engine.subscribe(
+            engine.network.nodes[1], simple_join_sql, two_relation_schema
+        )
+        engine.unsubscribe(engine.network.nodes[1], drop)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[3], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(keep.key) == {("7", (1, 2))}
+        assert engine.delivered_rows(drop.key) == set()
+
+
+class TestQueryKeys:
+    def test_keys_unique_and_prefixed_by_node_key(
+        self, engine, two_relation_schema, simple_join_sql
+    ):
+        node = engine.network.nodes[0]
+        first = engine.subscribe(node, simple_join_sql, two_relation_schema)
+        second = engine.subscribe(node, simple_join_sql, two_relation_schema)
+        assert first.key != second.key
+        assert first.key.startswith(node.key)
+
+    def test_subscriber_identity_recorded(
+        self, engine, two_relation_schema, simple_join_sql
+    ):
+        node = engine.network.nodes[3]
+        query = engine.subscribe(node, simple_join_sql, two_relation_schema)
+        assert query.subscriber.ident == node.ident
+        assert query.subscriber.ip == node.ip

@@ -1,0 +1,182 @@
+"""Engine behaviour under overlay churn (joins, leaves, handoff)."""
+
+import random
+
+import pytest
+
+from repro import ChordNetwork, ContinuousQueryEngine, EngineConfig, Schema
+from repro.core.oracle import CentralizedOracle
+
+SCHEMA = Schema.from_dict({"R": ["A", "B"], "S": ["D", "E"]})
+ALGORITHMS = ["sai", "dai-q", "dai-t", "dai-v"]
+
+
+def churn_workload(algorithm, seed=1, n_events=150, n_nodes=32, churn_every=12):
+    rng = random.Random(seed)
+    network = ChordNetwork.build(n_nodes)
+    engine = ContinuousQueryEngine(
+        network, EngineConfig(algorithm=algorithm, index_choice="random", seed=seed)
+    )
+    oracle = CentralizedOracle()
+    R, S = SCHEMA.relation("R"), SCHEMA.relation("S")
+    subscriber = network.nodes[0]
+    query = engine.subscribe(
+        subscriber, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E", SCHEMA
+    )
+    oracle.subscribe(query)
+    for index in range(n_events):
+        engine.clock.advance(1.0)
+        origin = network.random_node(rng)
+        if rng.random() < 0.5:
+            tup = engine.publish(origin, R, {"A": index, "B": rng.randrange(5)})
+        else:
+            tup = engine.publish(origin, S, {"D": index, "E": rng.randrange(5)})
+        oracle.insert(tup)
+        if index % churn_every == churn_every - 1:
+            if rng.random() < 0.5:
+                engine.adopt(network.join(f"late-{index}"))
+            else:
+                victim = network.random_node(rng)
+                if victim is not subscriber:
+                    network.leave(victim)
+            network.run_stabilization(1, fix_all_fingers=True)
+    return engine, oracle, query
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_voluntary_churn_preserves_results(algorithm):
+    engine, oracle, query = churn_workload(algorithm)
+    assert oracle.rows_for(query.key), "vacuous workload"
+    assert engine.delivered_rows(query.key) == oracle.rows_for(query.key)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_heavy_churn(algorithm):
+    engine, oracle, query = churn_workload(
+        algorithm, seed=2, n_events=120, churn_every=6
+    )
+    assert engine.delivered_rows(query.key) == oracle.rows_for(query.key)
+
+
+class TestHandoffMechanics:
+    def test_join_takes_over_stored_queries(self, two_relation_schema):
+        """A newcomer that owns a rewriter identifier inherits its queries."""
+        network = ChordNetwork.build(16)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm="sai", index_choice="left")
+        )
+        query = engine.subscribe(
+            network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        rewriter_ident = network.hash.hash_parts("R", "B")
+        rewriter = network.responsible_node(rewriter_ident)
+        assert len(engine.state(rewriter).alqt) == 1
+
+        # Join a node exactly at the rewriter identifier: it becomes
+        # responsible and must inherit the stored query.
+        newcomer = None
+        salt = 0
+        while newcomer is None:
+            candidate_key = f"takeover-{salt}"
+            ident = network.hash(candidate_key)
+            predecessor = rewriter.predecessor
+            if network.space.in_open(ident, predecessor.ident, rewriter.ident):
+                newcomer = network.join(candidate_key)
+                if not newcomer.owns(rewriter_ident):
+                    # Joined in the gap but before the key; query stays.
+                    assert len(engine.state(rewriter).alqt) == 1
+                    return
+            salt += 1
+            assert salt < 100_000, "no key found in the gap; widen the search"
+        network.run_stabilization(2, fix_all_fingers=True)
+        assert len(engine.state(newcomer).alqt) == 1
+        assert len(engine.state(rewriter).alqt) == 0
+
+        # The query still works after the takeover.
+        R = two_relation_schema.relation("R")
+        S = two_relation_schema.relation("S")
+        engine.clock.advance(1)
+        engine.publish(network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_leave_hands_everything_to_successor(self, two_relation_schema):
+        network = ChordNetwork.build(16)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm="sai", index_choice="left")
+        )
+        query = engine.subscribe(
+            network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        rewriter = network.responsible_node(network.hash.hash_parts("R", "B"))
+        successor = rewriter.successor
+        network.leave(rewriter)
+        network.run_stabilization(2, fix_all_fingers=True)
+        assert len(engine.state(successor).alqt) == 1
+
+        R = two_relation_schema.relation("R")
+        S = two_relation_schema.relation("S")
+        engine.clock.advance(1)
+        engine.publish(network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_abrupt_failure_loses_state_best_effort(self, two_relation_schema):
+        """Failures lose data (best-effort semantics, Section 3.2) but
+        the system keeps running and later pairs still match."""
+        network = ChordNetwork.build(16)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm="sai", index_choice="left")
+        )
+        query = engine.subscribe(
+            network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        rewriter = network.responsible_node(network.hash.hash_parts("R", "B"))
+        network.fail(rewriter)
+        network.run_stabilization(3, fix_all_fingers=True)
+        R = two_relation_schema.relation("R")
+        S = two_relation_schema.relation("S")
+        engine.clock.advance(1)
+        engine.publish(network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        # The stored query died with the rewriter: no notification, but
+        # no crash either.
+        assert engine.delivered_rows(query.key) == set()
+
+    def test_resubscription_after_failure_restores_service(self, two_relation_schema):
+        network = ChordNetwork.build(16)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm="sai", index_choice="left")
+        )
+        subscriber = network.nodes[0]
+        query = engine.subscribe(
+            subscriber,
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        rewriter = network.responsible_node(network.hash.hash_parts("R", "B"))
+        if rewriter is subscriber:
+            pytest.skip("rewriter landed on the subscriber in this topology")
+        network.fail(rewriter)
+        network.run_stabilization(3, fix_all_fingers=True)
+        query2 = engine.subscribe(
+            subscriber,
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        R = two_relation_schema.relation("R")
+        S = two_relation_schema.relation("S")
+        engine.clock.advance(1)
+        engine.publish(network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query2.key) == {("7", (1, 2))}

@@ -1,0 +1,125 @@
+"""Notification delivery: direct, offline parking, reconnection handoff."""
+
+import pytest
+
+ALGORITHMS = ["sai", "dai-q", "dai-t", "dai-v"]
+
+
+def setup_join(engine, schema, sql="SELECT R.A, S.D FROM R, S WHERE R.B = S.E"):
+    subscriber = engine.network.nodes[0]
+    query = engine.subscribe(subscriber, sql, schema)
+    return subscriber, query
+
+
+def fire_pair(engine, schema, b=7, a=1, d=2):
+    R, S = schema.relation("R"), schema.relation("S")
+    engine.clock.advance(1)
+    engine.publish(engine.network.nodes[1], R, {"A": a, "B": b, "C": 0})
+    engine.clock.advance(1)
+    engine.publish(engine.network.nodes[2], S, {"D": d, "E": b, "F": 0})
+
+
+@pytest.fixture(params=ALGORITHMS)
+def engine(request, engine_factory):
+    return engine_factory(algorithm=request.param)
+
+
+class TestOnlineDelivery:
+    def test_notification_lands_in_inbox(self, engine, two_relation_schema):
+        subscriber, query = setup_join(engine, two_relation_schema)
+        fire_pair(engine, two_relation_schema)
+        inbox = engine.notifications(subscriber)
+        assert len(inbox) == 1
+        assert inbox[0].row == (1, 2)
+        assert inbox[0].query_key == query.key
+
+    def test_notification_times_recorded(self, engine, two_relation_schema):
+        subscriber, _ = setup_join(engine, two_relation_schema)
+        fire_pair(engine, two_relation_schema)
+        notification = engine.notifications(subscriber)[0]
+        assert notification.match_pub_time >= 0
+        assert notification.created_at == engine.clock.now
+
+    def test_direct_delivery_is_one_hop(self, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm="sai")
+        subscriber, _ = setup_join(engine, two_relation_schema)
+        fire_pair(engine, two_relation_schema)
+        hops = engine.traffic.hops_by_type.get("notification", None)
+        messages = engine.traffic.messages_by_type.get("notification", 0)
+        assert messages >= 1
+        assert hops is not None and hops <= messages  # <= 1 hop each
+
+
+class TestOfflinePresence:
+    def test_offline_subscriber_notifications_parked(self, engine, two_relation_schema):
+        subscriber, query = setup_join(engine, two_relation_schema)
+        engine.go_offline(subscriber)
+        fire_pair(engine, two_relation_schema)
+        assert engine.notifications(subscriber) == []
+        assert engine.delivered_rows(query.key) == set()
+        # The notification is parked at Successor(Id(n)) — the node
+        # itself, since it never left the ring.
+        assert engine.state(subscriber).parked.get(subscriber.ident)
+
+    def test_come_online_flushes_parked(self, engine, two_relation_schema):
+        subscriber, query = setup_join(engine, two_relation_schema)
+        engine.go_offline(subscriber)
+        fire_pair(engine, two_relation_schema)
+        recovered = engine.come_online(subscriber)
+        assert len(recovered) == 1
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+        assert engine.notifications(subscriber)[0].row == (1, 2)
+
+    def test_notifications_after_return_delivered_directly(
+        self, engine, two_relation_schema
+    ):
+        subscriber, query = setup_join(engine, two_relation_schema)
+        engine.go_offline(subscriber)
+        engine.come_online(subscriber)
+        fire_pair(engine, two_relation_schema)
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+
+class TestDisconnectReconnect:
+    def test_missed_notifications_recovered_on_rejoin(
+        self, engine, two_relation_schema
+    ):
+        subscriber, query = setup_join(engine, two_relation_schema)
+        key = subscriber.key
+        engine.disconnect(subscriber)
+        engine.network.run_stabilization(2, fix_all_fingers=True)
+        fire_pair(engine, two_relation_schema)
+        rejoined = engine.reconnect(key)
+        assert rejoined.ident == subscriber.ident
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+        assert [n.row for n in engine.notifications(rejoined)] == [(1, 2)]
+
+    def test_rejoined_node_receives_future_notifications(
+        self, engine, two_relation_schema
+    ):
+        subscriber, query = setup_join(engine, two_relation_schema)
+        key = subscriber.key
+        engine.disconnect(subscriber)
+        engine.network.run_stabilization(2, fix_all_fingers=True)
+        rejoined = engine.reconnect(key)
+        engine.network.run_stabilization(2, fix_all_fingers=True)
+        fire_pair(engine, two_relation_schema)
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+
+class TestBatching:
+    def test_multiple_rows_one_event_grouped(self, engine_factory, two_relation_schema):
+        """Several notifications to one receiver travel in one message."""
+        engine = engine_factory(algorithm="sai", index_choice="left")
+        R = two_relation_schema.relation("R")
+        S = two_relation_schema.relation("S")
+        subscriber, query = setup_join(engine, two_relation_schema)
+        for a in range(4):
+            engine.clock.advance(1)
+            engine.publish(engine.network.nodes[1], R, {"A": a, "B": 7, "C": 0})
+        before = engine.traffic.messages_by_type.get("notification", 0)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 9, "E": 7, "F": 0})
+        after = engine.traffic.messages_by_type.get("notification", 0)
+        assert len(engine.delivered_rows(query.key)) == 4
+        assert after - before == 1  # one batched message, four rows

@@ -1,0 +1,149 @@
+"""Tests for SAI index-attribute selection strategies."""
+
+import pytest
+
+from repro.core.index_choice import ArrivalStats, make_strategy
+from repro.errors import QueryError
+from repro.sql.query import LEFT, RIGHT
+
+
+class TestArrivalStats:
+    def test_record_counts(self):
+        stats = ArrivalStats()
+        for value in (1, 1, 2):
+            stats.record(value)
+        assert stats.count == 3
+        assert stats.distinct_values == 2
+        assert stats.values[1] == 2
+
+    def test_entropy_uniform_is_one(self):
+        stats = ArrivalStats()
+        for value in range(10):
+            stats.record(value)
+        assert stats.normalized_entropy() == pytest.approx(1.0)
+
+    def test_entropy_skewed_is_low(self):
+        stats = ArrivalStats()
+        for _ in range(99):
+            stats.record(0)
+        stats.record(1)
+        assert stats.normalized_entropy() < 0.1
+
+    def test_entropy_empty_or_single(self):
+        stats = ArrivalStats()
+        assert stats.normalized_entropy() == 0.0
+        stats.record(5)
+        assert stats.normalized_entropy() == 0.0
+
+
+class TestStrategyRegistry:
+    def test_known_names(self):
+        for name in ("left", "random", "min-rate", "max-rate", "uniformity"):
+            assert make_strategy(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            make_strategy("psychic")
+
+
+class TestStrategiesOnEngine:
+    def _warmed_engine(self, engine_factory, schema, r_count, s_count):
+        """An engine whose rewriters have seen r_count R and s_count S tuples."""
+        engine = engine_factory(algorithm="sai")
+        R, S = schema.relation("R"), schema.relation("S")
+        for index in range(r_count):
+            engine.publish(
+                engine.network.nodes[1], R, {"A": index, "B": index % 3, "C": 0}
+            )
+        for index in range(s_count):
+            engine.publish(
+                engine.network.nodes[2], S, {"D": index, "E": index % 3, "F": 0}
+            )
+        return engine
+
+    def test_left_strategy(self, engine_factory, two_relation_schema):
+        engine = self._warmed_engine(engine_factory, two_relation_schema, 1, 1)
+        query = engine.subscribe(
+            engine.network.nodes[0],
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E",
+            two_relation_schema,
+        )
+        strategy = make_strategy("left")
+        assert strategy.choose(engine, engine.network.nodes[0], query) == LEFT
+
+    def test_min_rate_prefers_slow_relation(
+        self, engine_factory, two_relation_schema, simple_join_sql
+    ):
+        engine = self._warmed_engine(engine_factory, two_relation_schema, 50, 5)
+        from repro.sql.parser import parse_query
+
+        query = parse_query(simple_join_sql, two_relation_schema)
+        strategy = make_strategy("min-rate")
+        # S (right) saw far fewer tuples: index there.
+        assert strategy.choose(engine, engine.network.nodes[0], query) == RIGHT
+
+    def test_max_rate_prefers_fast_relation(
+        self, engine_factory, two_relation_schema, simple_join_sql
+    ):
+        engine = self._warmed_engine(engine_factory, two_relation_schema, 50, 5)
+        from repro.sql.parser import parse_query
+
+        query = parse_query(simple_join_sql, two_relation_schema)
+        strategy = make_strategy("max-rate")
+        assert strategy.choose(engine, engine.network.nodes[0], query) == LEFT
+
+    def test_uniformity_prefers_less_skewed_attribute(
+        self, engine_factory, two_relation_schema
+    ):
+        engine = engine_factory(algorithm="sai")
+        R, S = two_relation_schema.relation("R"), two_relation_schema.relation("S")
+        # R.B takes many distinct values; S.E is constant.
+        for index in range(30):
+            engine.publish(engine.network.nodes[1], R, {"A": 0, "B": index, "C": 0})
+            engine.publish(engine.network.nodes[2], S, {"D": 0, "E": 7, "F": 0})
+        from repro.sql.parser import parse_query
+
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E", two_relation_schema
+        )
+        strategy = make_strategy("uniformity")
+        assert strategy.choose(engine, engine.network.nodes[0], query) == LEFT
+
+    def test_probe_traffic_accounted(
+        self, engine_factory, two_relation_schema, simple_join_sql
+    ):
+        engine = engine_factory(algorithm="sai", index_choice="min-rate")
+        engine.subscribe(
+            engine.network.nodes[0], simple_join_sql, two_relation_schema
+        )
+        assert "rate-probe" in engine.traffic.hops_by_type
+
+    def test_min_rate_cuts_traffic_on_imbalanced_streams(
+        self, engine_factory, two_relation_schema, simple_join_sql
+    ):
+        """The paper's claim behind Figure 5.4, on a micro workload."""
+
+        def run(strategy):
+            engine = engine_factory(algorithm="sai", index_choice=strategy, seed=3)
+            R = two_relation_schema.relation("R")
+            S = two_relation_schema.relation("S")
+            # Warm-up so the probes see the imbalance.
+            for index in range(40):
+                engine.publish(engine.network.nodes[1], R, {"A": index, "B": index % 4, "C": 0})
+            for index in range(4):
+                engine.publish(engine.network.nodes[2], S, {"D": index, "E": index % 4, "F": 0})
+            engine.clock.advance(1)
+            for index in range(10):
+                engine.subscribe(
+                    engine.network.nodes[index], simple_join_sql, two_relation_schema
+                )
+            start = engine.traffic.hops
+            for index in range(80):
+                engine.clock.advance(1)
+                engine.publish(engine.network.nodes[1], R, {"A": index, "B": index % 4, "C": 0})
+            for index in range(8):
+                engine.clock.advance(1)
+                engine.publish(engine.network.nodes[2], S, {"D": index, "E": index % 4, "F": 0})
+            return engine.traffic.hops - start
+
+        assert run("min-rate") < run("max-rate")

@@ -1,0 +1,77 @@
+"""Tests for the join fingers routing table (LRU cache semantics)."""
+
+import pytest
+
+from repro.chord.idspace import IdentifierSpace
+from repro.chord.node import ChordNode
+from repro.core.jfrt import JoinFingersRoutingTable
+
+
+def owner_node(ident=100, pred=50):
+    space = IdentifierSpace(8)
+    node = ChordNode(f"k{ident}", ident, space)
+    node.predecessor = ChordNode(f"k{pred}", pred, space)
+    return node
+
+
+class TestJFRT:
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            JoinFingersRoutingTable(0)
+
+    def test_miss_then_hit(self):
+        table = JoinFingersRoutingTable(4)
+        node = owner_node()
+        assert table.lookup(80) is None
+        table.learn(80, node)
+        assert table.lookup(80) is node
+        assert table.hits == 1 and table.misses == 1
+
+    def test_dead_node_invalidated(self):
+        table = JoinFingersRoutingTable(4)
+        node = owner_node()
+        table.learn(80, node)
+        node.alive = False
+        assert table.lookup(80) is None
+        assert table.invalidations == 1
+        assert len(table) == 0
+
+    def test_no_longer_responsible_invalidated(self):
+        table = JoinFingersRoutingTable(4)
+        node = owner_node(ident=100, pred=50)
+        table.learn(80, node)
+        # A newcomer took over (80 now outside (90, 100]).
+        node.predecessor = ChordNode("newcomer", 90, node.space)
+        assert table.lookup(80) is None
+        assert table.invalidations == 1
+
+    def test_lru_eviction(self):
+        table = JoinFingersRoutingTable(2)
+        nodes = {i: owner_node(ident=100, pred=50) for i in (60, 70, 80)}
+        table.learn(60, nodes[60])
+        table.learn(70, nodes[70])
+        table.lookup(60)  # refresh 60 so 70 is the LRU entry
+        table.learn(80, nodes[80])
+        assert len(table) == 2
+        assert table.lookup(70) is None
+        assert table.lookup(60) is nodes[60]
+
+    def test_hit_ratio(self):
+        table = JoinFingersRoutingTable(4)
+        node = owner_node()
+        table.lookup(80)
+        table.learn(80, node)
+        table.lookup(80)
+        assert table.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert JoinFingersRoutingTable(1).hit_ratio == 0.0
+
+    def test_relearn_updates_entry(self):
+        table = JoinFingersRoutingTable(2)
+        stale = owner_node()
+        fresh = owner_node()
+        table.learn(80, stale)
+        table.learn(80, fresh)
+        assert table.lookup(80) is fresh
+        assert len(table) == 1

@@ -1,0 +1,72 @@
+"""Tests for notification records and batching."""
+
+from repro.core.notifications import Notification, group_by_subscriber
+
+
+def make_notification(key="q", subscriber=1, row=(1, 2), value="7"):
+    return Notification(
+        query_key=key,
+        subscriber_ident=subscriber,
+        row=row,
+        join_value_repr=value,
+        trigger_pub_time=1.0,
+        match_pub_time=2.0,
+        created_at=3.0,
+    )
+
+
+class TestNotification:
+    def test_identity_collapses_equal_rows(self):
+        assert make_notification().identity == make_notification().identity
+
+    def test_identity_distinguishes_rows(self):
+        assert make_notification(row=(1, 2)).identity != make_notification(row=(1, 3)).identity
+
+    def test_identity_distinguishes_join_values(self):
+        assert make_notification(value="7").identity != make_notification(value="8").identity
+
+    def test_identity_distinguishes_queries(self):
+        assert make_notification(key="a").identity != make_notification(key="b").identity
+
+    def test_identity_ignores_times(self):
+        late = Notification(
+            query_key="q",
+            subscriber_ident=1,
+            row=(1, 2),
+            join_value_repr="7",
+            trigger_pub_time=9.0,
+            match_pub_time=9.0,
+            created_at=9.0,
+        )
+        assert late.identity == make_notification().identity
+
+    def test_frozen(self):
+        notification = make_notification()
+        try:
+            notification.row = (9, 9)
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestGrouping:
+    def test_groups_by_subscriber(self):
+        batch = [
+            make_notification(subscriber=1),
+            make_notification(subscriber=2),
+            make_notification(subscriber=1, row=(5, 6)),
+        ]
+        grouped = group_by_subscriber(batch)
+        assert set(grouped) == {1, 2}
+        assert len(grouped[1]) == 2
+        assert len(grouped[2]) == 1
+
+    def test_empty(self):
+        assert group_by_subscriber([]) == {}
+
+    def test_preserves_order(self):
+        first = make_notification(row=(1, 1))
+        second = make_notification(row=(2, 2))
+        grouped = group_by_subscriber([first, second])
+        assert grouped[1] == [first, second]

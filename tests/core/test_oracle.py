@@ -1,0 +1,115 @@
+"""Tests for the centralized oracle itself (against hand-computed joins)."""
+
+import pytest
+
+from repro.core.oracle import CentralizedOracle
+from repro.errors import QueryError
+from repro.sql.parser import parse_query
+from repro.sql.query import Subscriber
+from repro.sql.schema import Relation
+from repro.sql.tuples import DataTuple
+
+R = Relation("R", ("A", "B"))
+S = Relation("S", ("D", "E"))
+SUB = Subscriber("n", 1, "ip")
+
+
+def bound(sql, key="q", t=0.0):
+    return parse_query(sql).with_subscription(key, t, SUB)
+
+
+def r(a, b, pub):
+    return DataTuple(R, (a, b), pub)
+
+
+def s(d, e, pub):
+    return DataTuple(S, (d, e), pub)
+
+
+class TestOracle:
+    def test_requires_bound_queries(self):
+        oracle = CentralizedOracle()
+        with pytest.raises(QueryError):
+            oracle.subscribe(parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.E"))
+
+    def test_simple_join(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E"))
+        oracle.insert(r(1, 7, 1.0))
+        oracle.insert(s(2, 7, 2.0))
+        assert oracle.rows_for("q") == {("7", (1, 2))}
+
+    def test_order_independent(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E"))
+        oracle.insert(s(2, 7, 1.0))
+        oracle.insert(r(1, 7, 2.0))
+        assert oracle.rows_for("q") == {("7", (1, 2))}
+
+    def test_time_semantics(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", t=5.0))
+        oracle.insert(r(1, 7, 4.0))  # too old
+        oracle.insert(s(2, 7, 6.0))
+        assert oracle.rows_for("q") == set()
+
+    def test_window(self):
+        oracle = CentralizedOracle(window=3.0)
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E"))
+        oracle.insert(r(1, 7, 1.0))
+        oracle.insert(s(2, 7, 10.0))  # 9 apart > 3
+        oracle.insert(s(3, 7, 3.5))  # 2.5 apart
+        assert oracle.rows_for("q") == {("7", (1, 3))}
+
+    def test_filters(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(
+            bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND S.D = 2")
+        )
+        oracle.insert(r(1, 7, 1.0))
+        oracle.insert(s(2, 7, 2.0))
+        oracle.insert(s(3, 7, 3.0))
+        assert oracle.rows_for("q") == {("7", (1, 2))}
+
+    def test_row_collapsing(self):
+        """Identical projected rows for the same join value collapse."""
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E"))
+        oracle.insert(r(1, 7, 1.0))
+        oracle.insert(r(1, 7, 2.0))  # same projection
+        oracle.insert(s(2, 7, 3.0))
+        assert oracle.rows_for("q") == {("7", (1, 2))}
+
+    def test_same_row_different_value_kept(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E"))
+        oracle.insert(r(1, 7, 1.0))
+        oracle.insert(r(1, 8, 1.5))
+        oracle.insert(s(2, 7, 2.0))
+        oracle.insert(s(2, 8, 2.5))
+        assert oracle.rows_for("q") == {("7", (1, 2)), ("8", (1, 2))}
+
+    def test_t2_expression(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE 2 * R.B = S.E + 1"))
+        oracle.insert(r(1, 4, 1.0))  # left value 8
+        oracle.insert(s(2, 7, 2.0))  # right value 8 — match
+        oracle.insert(s(3, 6, 3.0))  # right value 7 — no match
+        assert oracle.rows_for("q") == {("8", (1, 2))}
+
+    def test_multiple_queries_tracked_separately(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", key="q1"))
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.A = S.D", key="q2"))
+        oracle.insert(r(2, 7, 1.0))
+        oracle.insert(s(2, 7, 2.0))
+        assert oracle.rows_for("q1") == {("7", (2, 2))}
+        assert oracle.rows_for("q2") == {("2", (2, 2))}
+
+    def test_total_rows(self):
+        oracle = CentralizedOracle()
+        oracle.subscribe(bound("SELECT R.A, S.D FROM R, S WHERE R.B = S.E"))
+        assert oracle.total_rows == 0
+        oracle.insert(r(1, 7, 1.0))
+        oracle.insert(s(2, 7, 2.0))
+        assert oracle.total_rows == 1

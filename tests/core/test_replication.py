@@ -1,0 +1,60 @@
+"""Tests for the attribute-level replication scheme."""
+
+import random
+
+import pytest
+
+from repro.chord.hashing import ConsistentHash, make_key
+from repro.core.replication import ReplicationScheme
+
+HASH = ConsistentHash(32)
+
+
+class TestReplicationScheme:
+    def test_factor_one_is_plain_hash(self):
+        scheme = ReplicationScheme(1)
+        idents = scheme.rewriter_identifiers(HASH, "R", "B")
+        assert idents == [HASH(make_key("R", "B"))]
+
+    def test_factor_validates(self):
+        with pytest.raises(ValueError):
+            ReplicationScheme(0)
+
+    def test_k_distinct_identifiers(self):
+        scheme = ReplicationScheme(8)
+        idents = scheme.rewriter_identifiers(HASH, "R", "B")
+        assert len(idents) == 8
+        assert len(set(idents)) == 8
+
+    def test_identifiers_deterministic(self):
+        scheme = ReplicationScheme(4)
+        assert scheme.rewriter_identifiers(HASH, "R", "B") == scheme.rewriter_identifiers(
+            HASH, "R", "B"
+        )
+
+    def test_pick_identifier_is_one_of_replicas(self):
+        scheme = ReplicationScheme(4)
+        replicas = set(scheme.rewriter_identifiers(HASH, "R", "B"))
+        rng = random.Random(0)
+        picks = {scheme.pick_identifier(HASH, "R", "B", rng) for _ in range(100)}
+        assert picks <= replicas
+        # All replicas should be used over enough draws.
+        assert picks == replicas
+
+    def test_pick_identifier_factor_one_deterministic(self):
+        scheme = ReplicationScheme(1)
+        rng = random.Random(0)
+        assert scheme.pick_identifier(HASH, "R", "B", rng) == HASH(make_key("R", "B"))
+
+    def test_probe_identifier_is_first_replica(self):
+        scheme = ReplicationScheme(4)
+        assert (
+            scheme.probe_identifier(HASH, "R", "B")
+            == scheme.rewriter_identifiers(HASH, "R", "B")[0]
+        )
+
+    def test_attributes_do_not_share_replicas(self):
+        scheme = ReplicationScheme(2)
+        b_replicas = set(scheme.rewriter_identifiers(HASH, "R", "B"))
+        a_replicas = set(scheme.rewriter_identifiers(HASH, "R", "A"))
+        assert b_replicas.isdisjoint(a_replicas)

@@ -1,0 +1,105 @@
+"""Integration: engine + discrete-event simulator + scheduled churn."""
+
+import random
+
+import pytest
+
+from repro import (
+    ChordNetwork,
+    ContinuousQueryEngine,
+    EngineConfig,
+    Schema,
+    Simulator,
+)
+from repro.core.oracle import CentralizedOracle
+from repro.sim.simulator import schedule_stabilization
+
+SCHEMA = Schema.from_dict({"R": ["A", "B"], "S": ["D", "E"]})
+
+
+@pytest.fixture
+def stack():
+    network = ChordNetwork.build(32)
+    engine = ContinuousQueryEngine(
+        network, EngineConfig(algorithm="dai-t", index_choice="random")
+    )
+    simulator = Simulator(network, engine.clock)
+    return network, engine, simulator
+
+
+class TestScheduledWorkloads:
+    def test_scheduled_publishes_share_the_clock(self, stack):
+        network, engine, simulator = stack
+        R = SCHEMA.relation("R")
+        times = []
+        for t in (1.0, 2.5, 4.0):
+            simulator.at(
+                t,
+                lambda: times.append(
+                    engine.publish(network.nodes[1], R, {"A": 0, "B": 0}).pub_time
+                ),
+            )
+        simulator.run()
+        assert times == [1.0, 2.5, 4.0]
+
+    def test_full_scenario_with_periodic_stabilization(self, stack):
+        network, engine, simulator = stack
+        rng = random.Random(8)
+        oracle = CentralizedOracle()
+        R, S = SCHEMA.relation("R"), SCHEMA.relation("S")
+
+        query = engine.subscribe(
+            network.nodes[0], "SELECT R.A, S.D FROM R, S WHERE R.B = S.E", SCHEMA
+        )
+        oracle.subscribe(query)
+
+        def publish_random():
+            origin = network.random_node(rng)
+            if rng.random() < 0.5:
+                tup = engine.publish(origin, R, {"A": rng.randrange(9), "B": rng.randrange(4)})
+            else:
+                tup = engine.publish(origin, S, {"D": rng.randrange(9), "E": rng.randrange(4)})
+            oracle.insert(tup)
+
+        for index in range(120):
+            simulator.at(1.0 + index, publish_random)
+        # Churn happens while the stream runs; stabilization is periodic.
+        simulator.at(30.0, lambda: engine.adopt(network.join("mid-joiner-1")))
+        simulator.at(
+            60.0, lambda: network.leave(network.nodes[len(network) // 2])
+        )
+        simulator.at(90.0, lambda: engine.adopt(network.join("mid-joiner-2")))
+        schedule_stabilization(simulator, period=5.0, until=125.0)
+
+        simulator.run()
+        assert engine.delivered_rows(query.key) == oracle.rows_for(query.key)
+        assert oracle.rows_for(query.key), "vacuous scenario"
+
+    def test_windowed_scenario_with_scheduled_eviction(self, stack):
+        network, engine, simulator = stack
+        engine.config.window = 10.0
+        oracle = CentralizedOracle(window=10.0)
+        R, S = SCHEMA.relation("R"), SCHEMA.relation("S")
+        query = engine.subscribe(
+            network.nodes[0], "SELECT R.A, S.D FROM R, S WHERE R.B = S.E", SCHEMA
+        )
+        oracle.subscribe(query)
+        rng = random.Random(9)
+
+        def publish_random():
+            origin = network.random_node(rng)
+            if rng.random() < 0.5:
+                tup = engine.publish(origin, R, {"A": rng.randrange(5), "B": rng.randrange(3)})
+            else:
+                tup = engine.publish(origin, S, {"D": rng.randrange(5), "E": rng.randrange(3)})
+            oracle.insert(tup)
+
+        for index in range(80):
+            simulator.at(1.0 + index, publish_random)
+        simulator.every(7.0, engine.evict_expired, until=90.0)
+        simulator.run()
+        engine.evict_expired()
+        assert engine.delivered_rows(query.key) == oracle.rows_for(query.key)
+        # Storage is bounded by the window after the final eviction.
+        load = engine.load_snapshot()
+        assert load.total_evaluator_storage < 200

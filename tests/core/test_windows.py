@@ -1,0 +1,114 @@
+"""Sliding-window semantics: matching, eviction, DAI-T resend mode."""
+
+import pytest
+
+ALGORITHMS = ["sai", "dai-q", "dai-t", "dai-v"]
+
+
+def setup(engine, schema):
+    subscriber = engine.network.nodes[0]
+    query = engine.subscribe(
+        subscriber, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E", schema
+    )
+    return schema.relation("R"), schema.relation("S"), query
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestWindowMatching:
+    def test_pair_within_window_matches(self, algorithm, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm=algorithm, window=10.0)
+        R, S, query = setup(engine, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(5)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_pair_outside_window_silent(self, algorithm, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm=algorithm, window=10.0)
+        R, S, query = setup(engine, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(11)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == set()
+
+    def test_boundary_is_inclusive(self, algorithm, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm=algorithm, window=10.0)
+        R, S, query = setup(engine, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(10)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_fresh_tuple_revives_old_row(self, algorithm, engine_factory, two_relation_schema):
+        """An expired pairing recurs when a fresh tuple re-creates it."""
+        engine = engine_factory(algorithm=algorithm, window=5.0)
+        R, S, query = setup(engine, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(20)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+
+class TestEviction:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_evict_expired_prunes_storage(self, algorithm, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm=algorithm, window=5.0)
+        R, S, _query = setup(engine, two_relation_schema)
+        for index in range(6):
+            engine.clock.advance(1)
+            engine.publish(engine.network.nodes[1], R, {"A": index, "B": 7, "C": 0})
+            engine.publish(engine.network.nodes[2], S, {"D": index, "E": 8, "F": 0})
+        before = engine.load_snapshot().total_evaluator_storage
+        engine.clock.advance(50)
+        evicted = engine.evict_expired()
+        after = engine.load_snapshot().total_evaluator_storage
+        assert evicted > 0
+        assert after < before
+        assert after == 0
+
+    def test_unbounded_window_evicts_nothing(self, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm="sai")
+        R, S, _query = setup(engine, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        engine.clock.advance(1000)
+        assert engine.evict_expired() == 0
+
+
+class TestDAITResendUnderWindows:
+    def test_unbounded_window_never_resends(self, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm="dai-t", index_choice="left")
+        R, S, query = setup(engine, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        first = engine.traffic.messages_by_type.get("join", 0)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 1})
+        second = engine.traffic.messages_by_type.get("join", 0)
+        assert first > 0
+        assert second == first  # identical rewritten key: not resent
+
+    def test_windowed_mode_resends_to_refresh_times(
+        self, engine_factory, two_relation_schema
+    ):
+        engine = engine_factory(algorithm="dai-t", index_choice="left", window=5.0)
+        R, S, query = setup(engine, two_relation_schema)
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 0})
+        first = engine.traffic.messages_by_type.get("join", 0)
+        engine.clock.advance(4)
+        engine.publish(engine.network.nodes[1], R, {"A": 1, "B": 7, "C": 1})
+        second = engine.traffic.messages_by_type.get("join", 0)
+        assert second > first  # resent so the evaluator's clock advances
+
+        # Correctness payoff: the S tuple pairs with the *second* R
+        # tuple (9 - 5 = 4 <= window) even though the first expired.
+        engine.clock.advance(4)
+        engine.publish(engine.network.nodes[2], S, {"D": 2, "E": 7, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}

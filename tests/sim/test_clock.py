@@ -1,0 +1,37 @@
+"""Tests for the logical clock."""
+
+import pytest
+
+from repro.sim.clock import LogicalClock
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now == 0.0
+
+    def test_custom_start(self):
+        assert LogicalClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = LogicalClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_zero_allowed(self):
+        clock = LogicalClock(1.0)
+        clock.advance(0.0)
+        assert clock.now == 1.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock().advance(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = LogicalClock()
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = LogicalClock(10.0)
+        clock.advance_to(3.0)
+        assert clock.now == 10.0

@@ -1,0 +1,54 @@
+"""Tests for the event queue."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append(3))
+        queue.push(1.0, lambda: order.append(1))
+        queue.push(2.0, lambda: order.append(2))
+        while queue:
+            queue.pop().action()
+        assert order == [1, 2, 3]
+
+    def test_ties_broken_fifo(self):
+        queue = EventQueue()
+        order = []
+        for tag in range(5):
+            queue.push(1.0, (lambda t: lambda: order.append(t))(tag))
+        while queue:
+            queue.pop().action()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue and len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(4.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_labels_kept(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="tick")
+        assert event.label == "tick"
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_property_pop_order_is_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(popped)

@@ -1,0 +1,52 @@
+"""Tests for overlay message records."""
+
+import pytest
+
+from repro.sim.messages import (
+    ALIndexMessage,
+    JoinMessage,
+    Message,
+    NotificationMessage,
+    QueryIndexMessage,
+    UnsubscribeMessage,
+    VLIndexMessage,
+)
+
+
+class TestMessageTypes:
+    def test_type_tags_distinct(self):
+        tags = {
+            cls.type
+            for cls in (
+                Message,
+                QueryIndexMessage,
+                ALIndexMessage,
+                VLIndexMessage,
+                JoinMessage,
+                NotificationMessage,
+                UnsubscribeMessage,
+            )
+        }
+        assert len(tags) == 7
+
+    def test_messages_frozen(self):
+        message = ALIndexMessage(tuple=None, index_attribute="B")
+        with pytest.raises(AttributeError):
+            message.index_attribute = "C"
+
+    def test_join_message_defaults(self):
+        message = JoinMessage()
+        assert message.rewritten == ()
+        assert message.projections == ()
+
+    def test_query_message_carries_routing_ident(self):
+        message = QueryIndexMessage(query=None, index_side="left", routing_ident=42)
+        assert message.routing_ident == 42
+
+    def test_notification_message_batches(self):
+        message = NotificationMessage(notifications=("a", "b"), subscriber_ident=7)
+        assert len(message.notifications) == 2
+        assert message.subscriber_ident == 7
+
+    def test_unsubscribe_carries_key(self):
+        assert UnsubscribeMessage(query_key="k").query_key == "k"

@@ -1,0 +1,101 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.sim.simulator import Simulator, schedule_stabilization
+
+
+@pytest.fixture
+def simulator(tiny_network):
+    return Simulator(tiny_network)
+
+
+class TestScheduling:
+    def test_at_runs_at_time(self, simulator):
+        seen = []
+        simulator.at(5.0, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [5.0]
+
+    def test_at_in_past_rejected(self, simulator):
+        simulator.clock.advance(10.0)
+        with pytest.raises(ValueError):
+            simulator.at(5.0, lambda: None)
+
+    def test_after_is_relative(self, simulator):
+        simulator.clock.advance(3.0)
+        seen = []
+        simulator.after(2.0, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [5.0]
+
+    def test_every_with_until(self, simulator):
+        ticks = []
+        simulator.every(1.0, lambda: ticks.append(simulator.now), until=4.5)
+        simulator.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_every_rejects_nonpositive_period(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.every(0.0, lambda: None)
+
+    def test_every_with_start(self, simulator):
+        ticks = []
+        simulator.every(2.0, lambda: ticks.append(simulator.now), start=5.0, until=9.0)
+        simulator.run()
+        assert ticks == [5.0, 7.0, 9.0]
+
+
+class TestExecution:
+    def test_step_returns_false_when_empty(self, simulator):
+        assert simulator.step() is False
+
+    def test_run_counts_events(self, simulator):
+        for t in (1.0, 2.0, 3.0):
+            simulator.at(t, lambda: None)
+        assert simulator.run() == 3
+        assert simulator.events_executed == 3
+
+    def test_run_max_events(self, simulator):
+        for t in (1.0, 2.0, 3.0):
+            simulator.at(t, lambda: None)
+        assert simulator.run(max_events=2) == 2
+        assert len(simulator.queue) == 1
+
+    def test_run_until_stops_at_horizon(self, simulator):
+        seen = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            simulator.at(t, (lambda x: lambda: seen.append(x))(t))
+        simulator.run_until(2.5)
+        assert seen == [1.0, 2.0]
+        assert simulator.now == 2.5
+
+    def test_run_until_unbounded_recurrence_stops(self, simulator):
+        ticks = []
+        simulator.every(1.0, lambda: ticks.append(simulator.now))
+        simulator.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_events_can_schedule_events(self, simulator):
+        seen = []
+
+        def first():
+            seen.append("first")
+            simulator.after(1.0, lambda: seen.append("second"))
+
+        simulator.at(1.0, first)
+        simulator.run()
+        assert seen == ["first", "second"]
+
+
+class TestStabilizationScheduling:
+    def test_runs_rounds(self):
+        network = ChordNetwork.build(8)
+        simulator = Simulator(network)
+        # Break a pointer; scheduled stabilization repairs it.
+        node = network.nodes[0]
+        node.predecessor = None
+        schedule_stabilization(simulator, period=1.0, until=3.0)
+        simulator.run()
+        assert node.predecessor is network.nodes[-1]

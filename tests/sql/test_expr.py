@@ -1,0 +1,139 @@
+"""Tests for the expression AST: evaluation, substitution, folding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QueryError
+from repro.sql.expr import (
+    AttrRef,
+    BinaryOp,
+    Const,
+    Negate,
+    attributes_of,
+    canonical_text,
+    canonical_value,
+    evaluate,
+    is_single_attribute,
+    relations_of,
+    substitute,
+)
+from repro.sql.schema import Relation
+from repro.sql.tuples import DataTuple
+
+R = Relation("R", ("A", "B"))
+
+
+def r_tuple(a, b, pub=0.0):
+    return DataTuple(R, (a, b), pub)
+
+
+class TestAnalysis:
+    def test_attributes_of_collects_refs(self):
+        expr = BinaryOp("+", AttrRef("R", "A"), BinaryOp("*", Const(2), AttrRef("R", "B")))
+        assert attributes_of(expr) == {AttrRef("R", "A"), AttrRef("R", "B")}
+
+    def test_attributes_of_const_empty(self):
+        assert attributes_of(Const(5)) == set()
+
+    def test_relations_of(self):
+        expr = BinaryOp("+", AttrRef("R", "A"), AttrRef("S", "B"))
+        assert relations_of(expr) == {"R", "S"}
+
+    def test_is_single_attribute(self):
+        assert is_single_attribute(AttrRef("R", "A"))
+        assert not is_single_attribute(Const(1))
+        assert not is_single_attribute(BinaryOp("+", AttrRef("R", "A"), Const(1)))
+
+    def test_negate_traversal(self):
+        assert attributes_of(Negate(AttrRef("R", "A"))) == {AttrRef("R", "A")}
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(QueryError):
+            BinaryOp("%", Const(1), Const(2))
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        expr = BinaryOp(
+            "+",
+            BinaryOp("*", Const(4), AttrRef("R", "A")),
+            BinaryOp("-", AttrRef("R", "B"), Const(1)),
+        )
+        assert evaluate(expr, r_tuple(2, 10)) == 8 + 9
+
+    def test_division(self):
+        expr = BinaryOp("/", AttrRef("R", "A"), Const(2))
+        assert evaluate(expr, r_tuple(6, 0)) == 3.0
+
+    def test_negate(self):
+        assert evaluate(Negate(AttrRef("R", "A")), r_tuple(5, 0)) == -5
+
+    def test_string_concatenation(self):
+        expr = BinaryOp("+", AttrRef("R", "A"), Const("!"))
+        assert evaluate(expr, r_tuple("hi", 0)) == "hi!"
+
+    def test_type_error_wrapped(self):
+        expr = BinaryOp("+", AttrRef("R", "A"), Const(1))
+        with pytest.raises(QueryError):
+            evaluate(expr, r_tuple("text", 0))
+
+    def test_non_expression_rejected(self):
+        with pytest.raises(QueryError):
+            evaluate("not an expr", r_tuple(1, 2))
+
+
+class TestSubstitute:
+    def test_replaces_matching_relation(self):
+        expr = BinaryOp("+", AttrRef("R", "A"), AttrRef("S", "X"))
+        result = substitute(expr, "R", r_tuple(3, 0))
+        assert result == BinaryOp("+", Const(3), AttrRef("S", "X"))
+
+    def test_full_fold_to_const(self):
+        expr = BinaryOp("*", AttrRef("R", "A"), AttrRef("R", "B"))
+        assert substitute(expr, "R", r_tuple(3, 4)) == Const(12)
+
+    def test_keeps_other_relation(self):
+        expr = AttrRef("S", "X")
+        assert substitute(expr, "R", r_tuple(1, 2)) == expr
+
+    def test_negate_folds(self):
+        assert substitute(Negate(AttrRef("R", "A")), "R", r_tuple(5, 0)) == Const(-5)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_property_substitute_matches_evaluate(self, a, b):
+        """Folding then evaluating equals evaluating directly."""
+        expr = BinaryOp(
+            "-",
+            BinaryOp("*", Const(3), AttrRef("R", "A")),
+            BinaryOp("+", AttrRef("R", "B"), Const(7)),
+        )
+        tup = r_tuple(a, b)
+        folded = substitute(expr, "R", tup)
+        assert isinstance(folded, Const)
+        assert folded.value == evaluate(expr, tup)
+
+
+class TestCanonical:
+    def test_canonical_text_deterministic(self):
+        expr = BinaryOp("+", AttrRef("R", "A"), Const(1))
+        assert canonical_text(expr) == "(R.A + 1)"
+
+    def test_canonical_value_integral_float(self):
+        assert canonical_value(4.0) == 4
+        assert isinstance(canonical_value(4.0), int)
+
+    def test_canonical_value_fractional_float_kept(self):
+        assert canonical_value(4.5) == 4.5
+
+    def test_canonical_value_int_passthrough(self):
+        assert canonical_value(7) == 7
+
+    def test_canonical_value_string_passthrough(self):
+        assert canonical_value("x") == "x"
+
+    def test_canonical_value_bool_to_int(self):
+        assert canonical_value(True) == 1 and repr(canonical_value(True)) == "1"
+
+    @given(st.integers(-1000, 1000))
+    def test_property_equal_values_equal_reprs(self, n):
+        assert repr(canonical_value(float(n))) == repr(canonical_value(n))

@@ -1,0 +1,208 @@
+"""Tests for the extended-T1 linear inversion (DESIGN.md extension).
+
+The paper's T1 criterion is "single attribute per side AND unique
+solution"; ``linear_form`` detects exactly the sides of the shape
+``a * X + b`` (``a != 0``) and ``solve_for_attribute`` inverts them so
+SAI/DAI-Q/DAI-T can compute ``valDA`` for expressions, not just bare
+attributes.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QueryError
+from repro.sql.expr import AttrRef, BinaryOp, Const, Negate, evaluate, linear_form
+from repro.sql.query import QuerySide
+from repro.sql.schema import Relation
+from repro.sql.tuples import DataTuple
+
+R = Relation("R", ("A", "B"))
+B = AttrRef("R", "B")
+
+
+class TestLinearForm:
+    def test_bare_attribute(self):
+        assert linear_form(B) == (B, 1, 0)
+
+    def test_scaled(self):
+        assert linear_form(BinaryOp("*", Const(3), B)) == (B, 3, 0)
+        assert linear_form(BinaryOp("*", B, Const(3))) == (B, 3, 0)
+
+    def test_affine(self):
+        expr = BinaryOp("+", BinaryOp("*", Const(2), B), Const(5))
+        assert linear_form(expr) == (B, 2, 5)
+
+    def test_subtraction(self):
+        expr = BinaryOp("-", Const(10), B)
+        assert linear_form(expr) == (B, -1, 10)
+
+    def test_negation(self):
+        assert linear_form(Negate(B)) == (B, -1, 0)
+
+    def test_division_by_constant(self):
+        expr = BinaryOp("/", B, Const(4))
+        attr, a, b = linear_form(expr)
+        assert (attr, a, b) == (B, 0.25, 0)
+
+    def test_nested_parenthesized(self):
+        # (B + 1) * 2 == 2B + 2
+        expr = BinaryOp("*", BinaryOp("+", B, Const(1)), Const(2))
+        assert linear_form(expr) == (B, 2, 2)
+
+    def test_cancelling_attribute_rejected(self):
+        # B - B == 0: coefficient collapses to zero -> not invertible.
+        expr = BinaryOp("-", B, B)
+        assert linear_form(expr) is None
+
+    def test_two_attributes_rejected(self):
+        expr = BinaryOp("+", B, AttrRef("R", "A"))
+        assert linear_form(expr) is None
+
+    def test_quadratic_rejected(self):
+        assert linear_form(BinaryOp("*", B, B)) is None
+
+    def test_division_by_attribute_rejected(self):
+        assert linear_form(BinaryOp("/", Const(1), B)) is None
+
+    def test_division_by_zero_rejected(self):
+        assert linear_form(BinaryOp("/", B, Const(0))) is None
+
+    def test_constant_rejected(self):
+        assert linear_form(Const(5)) is None
+
+    def test_string_constant_rejected(self):
+        assert linear_form(BinaryOp("+", B, Const("suffix"))) is None
+
+    @given(
+        a=st.integers(min_value=-5, max_value=5).filter(lambda v: v != 0),
+        b=st.integers(min_value=-10, max_value=10),
+        x=st.integers(min_value=-100, max_value=100),
+    )
+    def test_property_form_matches_evaluation(self, a, b, x):
+        expr = BinaryOp("+", BinaryOp("*", Const(a), B), Const(b))
+        attr, got_a, got_b = linear_form(expr)
+        tup = DataTuple(R, (0, x))
+        assert got_a * x + got_b == evaluate(expr, tup)
+
+
+class TestSolveForAttribute:
+    def test_identity(self):
+        side = QuerySide("R", B)
+        assert side.solve_for_attribute(7) == 7
+
+    def test_identity_string_domain(self):
+        side = QuerySide("R", B)
+        assert side.solve_for_attribute("Smith") == "Smith"
+
+    def test_affine(self):
+        side = QuerySide("R", BinaryOp("+", BinaryOp("*", Const(2), B), Const(5)))
+        assert side.solve_for_attribute(11) == 3  # 2*3 + 5 == 11
+
+    def test_result_canonicalized(self):
+        side = QuerySide("R", BinaryOp("*", Const(2), B))
+        solved = side.solve_for_attribute(8)
+        assert solved == 4 and isinstance(solved, int)
+
+    def test_fractional_solution_kept(self):
+        side = QuerySide("R", BinaryOp("*", Const(2), B))
+        assert side.solve_for_attribute(7) == 3.5
+
+    def test_non_invertible_rejected(self):
+        side = QuerySide("R", BinaryOp("+", B, AttrRef("R", "A")))
+        with pytest.raises(QueryError):
+            side.solve_for_attribute(5)
+
+    @given(
+        a=st.integers(min_value=-5, max_value=5).filter(lambda v: v != 0),
+        b=st.integers(min_value=-10, max_value=10),
+        x=st.integers(min_value=-50, max_value=50),
+    )
+    def test_property_solve_inverts_evaluate(self, a, b, x):
+        expr = BinaryOp("+", BinaryOp("*", Const(a), B), Const(b))
+        side = QuerySide("R", expr)
+        value = evaluate(expr, DataTuple(R, (0, x)))
+        assert side.solve_for_attribute(value) == x
+
+
+class TestLinearT1EndToEnd:
+    """Linear-expression queries run on all T1 algorithms."""
+
+    SQL = "SELECT R.A, S.D FROM R, S WHERE 2 * R.B + 1 = S.E - 3"
+
+    @pytest.mark.parametrize("algorithm", ["sai", "dai-q", "dai-t", "dai-v"])
+    def test_linear_condition_matches(
+        self, algorithm, engine_factory, two_relation_schema
+    ):
+        engine = engine_factory(algorithm=algorithm)
+        R_rel = two_relation_schema.relation("R")
+        S_rel = two_relation_schema.relation("S")
+        query = engine.subscribe(
+            engine.network.nodes[0], self.SQL, two_relation_schema
+        )
+        engine.clock.advance(1)
+        # Left value: 2*3 + 1 = 7 -> S.E must be 10.
+        engine.publish(engine.network.nodes[1], R_rel, {"A": 1, "B": 3, "C": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S_rel, {"D": 2, "E": 10, "F": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[3], S_rel, {"D": 9, "E": 11, "F": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    @pytest.mark.parametrize("algorithm", ["sai", "dai-q", "dai-t"])
+    def test_reverse_arrival_order(self, algorithm, engine_factory, two_relation_schema):
+        engine = engine_factory(algorithm=algorithm)
+        R_rel = two_relation_schema.relation("R")
+        S_rel = two_relation_schema.relation("S")
+        query = engine.subscribe(
+            engine.network.nodes[0], self.SQL, two_relation_schema
+        )
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[2], S_rel, {"D": 2, "E": 10, "F": 0})
+        engine.clock.advance(1)
+        engine.publish(engine.network.nodes[1], R_rel, {"A": 1, "B": 3, "C": 0})
+        assert engine.delivered_rows(query.key) == {("7", (1, 2))}
+
+    def test_differential_with_linear_queries(self, two_relation_schema):
+        import random
+
+        from repro import ChordNetwork, ContinuousQueryEngine, EngineConfig
+        from repro.core.oracle import CentralizedOracle
+
+        for algorithm in ("sai", "dai-q", "dai-t", "dai-v"):
+            rng = random.Random(11)
+            network = ChordNetwork.build(32)
+            engine = ContinuousQueryEngine(
+                network, EngineConfig(algorithm=algorithm, index_choice="random")
+            )
+            oracle = CentralizedOracle()
+            R_rel = two_relation_schema.relation("R")
+            S_rel = two_relation_schema.relation("S")
+            keys = []
+            for index in range(150):
+                engine.clock.advance(1)
+                origin = network.random_node(rng)
+                if index % 25 == 0:
+                    scale_factor = rng.randint(1, 3)
+                    offset = rng.randrange(4)
+                    sql = (
+                        f"SELECT R.A, S.D FROM R, S "
+                        f"WHERE {scale_factor} * R.B + {offset} = S.E"
+                    )
+                    query = engine.subscribe(origin, sql, two_relation_schema)
+                    oracle.subscribe(query)
+                    keys.append(query.key)
+                elif rng.random() < 0.5:
+                    tup = engine.publish(
+                        origin, R_rel, {k: rng.randrange(6) for k in R_rel.attributes}
+                    )
+                    oracle.insert(tup)
+                else:
+                    tup = engine.publish(
+                        origin, S_rel, {k: rng.randrange(14) for k in S_rel.attributes}
+                    )
+                    oracle.insert(tup)
+            for key in keys:
+                assert engine.delivered_rows(key) == oracle.rows_for(key), (
+                    algorithm,
+                    key,
+                )

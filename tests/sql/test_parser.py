@@ -1,0 +1,199 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.expr import AttrRef, BinaryOp, Const
+from repro.sql.parser import parse_query, tokenize
+from repro.sql.query import LocalFilter
+from repro.sql.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B", "C"], "S": ["D", "E", "F"]})
+
+
+class TestTokenizer:
+    def test_tokenizes_keywords_case_insensitively(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert [t.kind for t in tokens[:-1]] == ["keyword"] * 3
+
+    def test_numbers(self):
+        tokens = tokenize("12 3.5")
+        assert [t.text for t in tokens[:-1]] == ["12", "3.5"]
+
+    def test_strings(self):
+        tokens = tokenize("'Smith'")
+        assert tokens[0].kind == "string"
+
+    def test_junk_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+    def test_eof_token_appended(self):
+        assert tokenize("x")[-1].kind == "eof"
+
+
+class TestBasicQueries:
+    def test_simple_t1(self, schema):
+        query = parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", schema)
+        assert query.query_type == "T1"
+        assert query.left.relation == "R"
+        assert query.right.relation == "S"
+        assert query.left.expr == AttrRef("R", "B")
+        assert query.right.expr == AttrRef("S", "E")
+        assert query.select == (AttrRef("R", "A"), AttrRef("S", "D"))
+
+    def test_reversed_condition_oriented(self, schema):
+        query = parse_query("SELECT R.A, S.D FROM R, S WHERE S.E = R.B", schema)
+        assert query.left.expr == AttrRef("R", "B")
+        assert query.right.expr == AttrRef("S", "E")
+
+    def test_aliases(self):
+        query = parse_query(
+            "SELECT D.Title, A.Name FROM Document AS D, Authors AS A "
+            "WHERE D.AuthorId = A.Id"
+        )
+        assert query.left.relation == "Document"
+        assert query.select[0] == AttrRef("Document", "Title")
+
+    def test_local_filter(self, schema):
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND S.F = 10", schema
+        )
+        assert query.right.filters == (LocalFilter("F", 10),)
+
+    def test_filter_literal_on_left(self, schema):
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND 10 = S.F", schema
+        )
+        assert query.right.filters == (LocalFilter("F", 10),)
+
+    def test_string_filter(self):
+        query = parse_query(
+            "SELECT D.Title, D.Conference FROM Document AS D, Authors AS A "
+            "WHERE D.AuthorId = A.Id AND A.Surname = 'Smith'"
+        )
+        assert query.right.filters == (LocalFilter("Surname", "Smith"),)
+
+    def test_multiple_filters(self, schema):
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S "
+            "WHERE R.B = S.E AND S.F = 1 AND R.C = 2",
+            schema,
+        )
+        assert query.right.filters == (LocalFilter("F", 1),)
+        assert query.left.filters == (LocalFilter("C", 2),)
+
+
+class TestT2Queries:
+    def test_paper_example(self):
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S "
+            "WHERE 4 * R.B + R.C + 8 = 5 * S.E + S.D - S.F"
+        )
+        assert query.query_type == "T2"
+        assert set(query.left.join_attributes) == {"B", "C"}
+        assert set(query.right.join_attributes) == {"D", "E", "F"}
+
+    def test_parenthesized_expression(self, schema):
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S WHERE (R.B + 1) * 2 = S.E", schema
+        )
+        # Linear in a single attribute: unique solution, hence T1
+        # (the paper's full T1 criterion).
+        assert query.query_type == "T1"
+        left = query.left.expr
+        assert left == BinaryOp("*", BinaryOp("+", AttrRef("R", "B"), Const(1)), Const(2))
+
+    def test_unary_minus(self, schema):
+        query = parse_query("SELECT R.A, S.D FROM R, S WHERE -R.B = S.E", schema)
+        assert query.query_type == "T1"  # still uniquely solvable
+
+    def test_nonlinear_single_attribute_is_t2(self, schema):
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S WHERE R.B * R.B = S.E", schema
+        )
+        assert query.query_type == "T2"  # no unique solution
+
+    def test_precedence(self, schema):
+        query = parse_query(
+            "SELECT R.A, S.D FROM R, S WHERE R.B + R.C * 2 = S.E", schema
+        )
+        expr = query.left.expr
+        assert expr.op == "+"
+        assert expr.right == BinaryOp("*", AttrRef("R", "C"), Const(2))
+
+
+class TestErrors:
+    def test_unknown_relation_with_schema(self, schema):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, X.D FROM R, X WHERE R.B = X.E", schema)
+
+    def test_unknown_attribute_with_schema(self, schema):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.Z, S.D FROM R, S WHERE R.B = S.E", schema)
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A WHERE R.B = S.E")
+
+    def test_one_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A FROM R WHERE R.B = 1")
+
+    def test_three_relations_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, S.D FROM R, S, T WHERE R.B = S.E")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, R.B FROM R, R WHERE R.A = R.B")
+
+    def test_missing_join_condition(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = 1")
+
+    def test_two_join_conditions_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND R.C = S.F"
+            )
+
+    def test_mixed_relation_side_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, S.D FROM R, S WHERE R.B + S.D = S.E")
+
+    def test_nonliteral_filter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND R.A = R.C")
+
+    def test_unknown_alias_in_select(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT X.A, S.D FROM R, S WHERE R.B = S.E")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.E extra")
+
+    def test_select_star_unsupported(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM R, S WHERE R.B = S.E")
+
+    def test_constant_conjunct_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND 1 = 1")
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT D.A, D.B FROM R AS D, S AS D WHERE D.A = D.B")
+
+
+class TestRoundTrips:
+    def test_str_of_parsed_query_reparses(self, schema):
+        text = "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND S.F = 3"
+        query = parse_query(text, schema)
+        again = parse_query(str(query), schema)
+        assert again.join_signature() == query.join_signature()
+        assert again.select == query.select

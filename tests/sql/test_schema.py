@@ -1,0 +1,80 @@
+"""Tests for relations and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.schema import Relation, Schema, example_elearning_schema
+
+
+class TestRelation:
+    def test_basic(self):
+        relation = Relation("R", ("A", "B"))
+        assert relation.arity == 2
+        assert relation.has_attribute("A")
+        assert not relation.has_attribute("Z")
+
+    def test_index_of(self):
+        relation = Relation("R", ("A", "B"))
+        assert relation.index_of("B") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A",)).index_of("B")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "A"))
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ())
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("9R", ("A",))
+        with pytest.raises(SchemaError):
+            Relation("R", ("has space",))
+        with pytest.raises(SchemaError):
+            Relation("", ("A",))
+
+    def test_str(self):
+        assert str(Relation("R", ("A", "B"))) == "R(A, B)"
+
+    def test_underscore_names_allowed(self):
+        relation = Relation("my_rel", ("attr_1",))
+        assert relation.has_attribute("attr_1")
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema()
+        relation = schema.add(Relation("R", ("A",)))
+        assert schema.relation("R") is relation
+        assert "R" in schema
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema([Relation("R", ("A",))])
+        with pytest.raises(SchemaError):
+            schema.add(Relation("R", ("B",)))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema().relation("missing")
+
+    def test_from_dict(self):
+        schema = Schema.from_dict({"R": ["A", "B"], "S": ["C"]})
+        assert len(schema) == 2
+        assert schema.relation("S").attributes == ("C",)
+
+    def test_names_preserve_order(self):
+        schema = Schema.from_dict({"Z": ["A"], "A": ["B"]})
+        assert schema.names == ["Z", "A"]
+
+    def test_iteration(self):
+        schema = Schema.from_dict({"R": ["A"], "S": ["B"]})
+        assert [relation.name for relation in schema] == ["R", "S"]
+
+    def test_example_elearning_schema(self):
+        schema = example_elearning_schema()
+        assert schema.relation("Document").has_attribute("AuthorId")
+        assert schema.relation("Authors").has_attribute("Surname")

@@ -1,0 +1,79 @@
+"""Tests for data tuples and projections."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.schema import Relation
+from repro.sql.tuples import DataTuple, ProjectedTuple
+
+R = Relation("R", ("A", "B", "C"))
+
+
+class TestDataTuple:
+    def test_make_from_mapping(self):
+        tup = DataTuple.make(R, {"A": 1, "B": 2, "C": 3}, pub_time=4.0)
+        assert tup.values == (1, 2, 3)
+        assert tup.pub_time == 4.0
+
+    def test_make_order_independent(self):
+        tup = DataTuple.make(R, {"C": 3, "A": 1, "B": 2})
+        assert tup.value("A") == 1 and tup.value("C") == 3
+
+    def test_make_missing_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            DataTuple.make(R, {"A": 1, "B": 2})
+
+    def test_make_extra_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            DataTuple.make(R, {"A": 1, "B": 2, "C": 3, "D": 4})
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            DataTuple(R, (1, 2))
+
+    def test_value_unknown_attribute(self):
+        tup = DataTuple(R, (1, 2, 3))
+        with pytest.raises(SchemaError):
+            tup.value("Z")
+
+    def test_as_dict(self):
+        tup = DataTuple(R, (1, 2, 3))
+        assert tup.as_dict() == {"A": 1, "B": 2, "C": 3}
+
+    def test_str(self):
+        assert str(DataTuple(R, (1, "x", 3))) == "R(1, 'x', 3)"
+
+    def test_hashable(self):
+        assert DataTuple(R, (1, 2, 3)) == DataTuple(R, (1, 2, 3))
+        assert len({DataTuple(R, (1, 2, 3)), DataTuple(R, (1, 2, 3))}) == 1
+
+
+class TestProjection:
+    def test_project_subset(self):
+        tup = DataTuple(R, (1, 2, 3), pub_time=9.0)
+        projection = tup.project(("A", "C"))
+        assert projection.value("A") == 1
+        assert projection.value("C") == 3
+        assert projection.pub_time == 9.0
+        assert projection.relation_name == "R"
+
+    def test_projection_lacks_dropped_attribute(self):
+        projection = DataTuple(R, (1, 2, 3)).project(("A",))
+        assert not projection.has("B")
+        with pytest.raises(SchemaError):
+            projection.value("B")
+
+    def test_projection_as_dict(self):
+        projection = DataTuple(R, (1, 2, 3)).project(("B",))
+        assert projection.as_dict() == {"B": 2}
+
+    def test_projection_hashable(self):
+        a = DataTuple(R, (1, 2, 3)).project(("A",))
+        b = DataTuple(R, (1, 2, 3)).project(("A",))
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_projected_tuple_direct(self):
+        projection = ProjectedTuple("S", (("X", 7),), pub_time=1.0)
+        assert projection.value("X") == 7
+        assert projection.has("X")

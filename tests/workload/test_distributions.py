@@ -1,0 +1,116 @@
+"""Tests for workload value distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.distributions import (
+    PermutedZipf,
+    UniformValues,
+    ZipfValues,
+    empirical_skew,
+)
+
+
+class TestUniform:
+    def test_in_range(self):
+        dist = UniformValues(10)
+        rng = random.Random(0)
+        assert all(0 <= dist.sample(rng) < 10 for _ in range(200))
+
+    def test_covers_domain(self):
+        dist = UniformValues(5)
+        rng = random.Random(1)
+        assert {dist.sample(rng) for _ in range(500)} == set(range(5))
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            UniformValues(0)
+
+
+class TestZipf:
+    def test_in_range(self):
+        dist = ZipfValues(100, s=1.0)
+        rng = random.Random(0)
+        assert all(0 <= dist.sample(rng) < 100 for _ in range(500))
+
+    def test_rank_zero_most_frequent(self):
+        dist = ZipfValues(50, s=1.2)
+        rng = random.Random(2)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        counts = {value: samples.count(value) for value in set(samples)}
+        assert max(counts, key=counts.get) == 0
+
+    def test_skew_grows_with_exponent(self):
+        rng = random.Random(3)
+        mild = [ZipfValues(100, s=0.5).sample(rng) for _ in range(2000)]
+        rng = random.Random(3)
+        strong = [ZipfValues(100, s=1.5).sample(rng) for _ in range(2000)]
+        assert empirical_skew(strong) > empirical_skew(mild)
+
+    def test_zero_exponent_is_uniformish(self):
+        rng = random.Random(4)
+        samples = [ZipfValues(10, s=0.0).sample(rng) for _ in range(5000)]
+        assert empirical_skew(samples) < 0.2
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfValues(10, s=-1)
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            ZipfValues(0)
+
+    def test_domain_size_one(self):
+        dist = ZipfValues(1)
+        assert dist.sample(random.Random(0)) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=500), st.floats(min_value=0, max_value=3))
+    def test_property_samples_in_domain(self, domain, s):
+        dist = ZipfValues(domain, s=s)
+        rng = random.Random(0)
+        for _ in range(20):
+            assert 0 <= dist.sample(rng) < domain
+
+
+class TestPermutedZipf:
+    def test_in_range(self):
+        dist = PermutedZipf(64, s=1.0, permutation_seed=5)
+        rng = random.Random(0)
+        assert all(0 <= dist.sample(rng) < 64 for _ in range(300))
+
+    def test_same_seed_same_mapping(self):
+        a = PermutedZipf(64, permutation_seed=5)
+        b = PermutedZipf(64, permutation_seed=5)
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        assert [a.sample(rng_a) for _ in range(50)] == [b.sample(rng_b) for _ in range(50)]
+
+    def test_different_seeds_decorrelate_hotspots(self):
+        rng = random.Random(2)
+        a = PermutedZipf(256, s=1.4, permutation_seed=1)
+        b = PermutedZipf(256, s=1.4, permutation_seed=2)
+        hot_a = max(
+            set(samples := [a.sample(rng) for _ in range(1000)]), key=samples.count
+        )
+        hot_b = max(
+            set(samples := [b.sample(rng) for _ in range(1000)]), key=samples.count
+        )
+        assert hot_a != hot_b
+
+    def test_preserves_skew(self):
+        rng = random.Random(3)
+        samples = [PermutedZipf(100, s=1.5, permutation_seed=9).sample(rng) for _ in range(2000)]
+        assert empirical_skew(samples) > 0.2
+
+
+class TestEmpiricalSkew:
+    def test_empty(self):
+        assert empirical_skew([]) == 0.0
+
+    def test_constant(self):
+        assert empirical_skew([7, 7, 7]) == 1.0
+
+    def test_uniform(self):
+        assert empirical_skew([1, 2, 3, 4]) == 0.25

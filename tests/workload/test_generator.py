@@ -1,0 +1,145 @@
+"""Tests for workload generation (schemas, queries, streams)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.workload.generator import (
+    WorkloadGenerator,
+    WorkloadParams,
+    build_workload,
+)
+from repro.workload.schema_gen import synthetic_schema
+
+
+class TestSyntheticSchema:
+    def test_shape(self):
+        schema = synthetic_schema(3, 4)
+        assert len(schema) == 3
+        assert schema.relation("R0").attributes == ("a0", "a1", "a2", "a3")
+
+    def test_requires_two_relations(self):
+        with pytest.raises(ValueError):
+            synthetic_schema(1, 2)
+
+    def test_requires_attributes(self):
+        with pytest.raises(ValueError):
+            synthetic_schema(2, 0)
+
+
+class TestWorkloadGenerator:
+    def make(self, **kwargs):
+        params = WorkloadParams(**kwargs)
+        schema = synthetic_schema(params.n_relations, params.attributes_per_relation)
+        return WorkloadGenerator(schema, params)
+
+    def test_t1_query_shape(self):
+        generator = self.make(seed=1)
+        query = generator.random_t1_query()
+        assert query.query_type == "T1"
+        assert query.left.relation != query.right.relation
+
+    def test_t2_query_shape(self):
+        generator = self.make(seed=2)
+        query = generator.random_t2_query()
+        assert query.query_type == "T2"
+
+    def test_t2_fraction_respected(self):
+        generator = self.make(seed=3, t2_fraction=1.0)
+        assert all(generator.random_query().query_type == "T2" for _ in range(10))
+        generator = self.make(seed=3, t2_fraction=0.0)
+        assert all(generator.random_query().query_type == "T1" for _ in range(10))
+
+    def test_filter_probability(self):
+        generator = self.make(seed=4, filter_probability=1.0)
+        query = generator.random_t1_query()
+        assert query.left.filters or query.right.filters
+
+    def test_tuple_values_cover_all_attributes(self):
+        generator = self.make(seed=5)
+        relation = generator.schema.relation("R0")
+        values = generator.random_tuple_values(relation)
+        assert set(values) == set(relation.attributes)
+        assert all(0 <= v < generator.params.domain_size for v in values.values())
+
+    def test_value_distributions_cached(self):
+        generator = self.make(seed=6)
+        first = generator.distribution_for("R0", "a0")
+        second = generator.distribution_for("R0", "a0")
+        assert first is second
+
+    def test_zero_skew_uses_uniform(self):
+        generator = self.make(seed=7, zipf_s=0.0)
+        dist = generator.distribution_for("R0", "a0")
+        assert type(dist).__name__ == "UniformValues"
+
+    def test_bos_ratio_biases_stream(self):
+        generator = self.make(seed=8, bos_ratio=9.0)
+        relations = [generator.pick_stream_relation().name for _ in range(1000)]
+        r0 = relations.count("R0")
+        assert 750 < r0 < 980  # expect ~900
+
+    def test_bos_ratio_one_is_balanced(self):
+        generator = self.make(seed=9, bos_ratio=1.0)
+        relations = [generator.pick_stream_relation().name for _ in range(1000)]
+        assert 400 < relations.count("R0") < 600
+
+
+class TestBuildWorkload:
+    def test_counts(self):
+        workload = build_workload(WorkloadParams(n_queries=10, n_tuples=20, seed=1))
+        assert workload.n_queries == 10
+        assert workload.n_tuples == 20
+        assert len(workload) == 30
+
+    def test_queries_precede_tuples(self):
+        workload = build_workload(WorkloadParams(n_queries=5, n_tuples=5, seed=2))
+        kinds = [event.kind for event in workload]
+        assert kinds == ["query"] * 5 + ["tuple"] * 5
+
+    def test_timestamps_nondecreasing(self):
+        workload = build_workload(WorkloadParams(n_queries=5, n_tuples=5, seed=3))
+        times = [event.time for event in workload]
+        assert times == sorted(times)
+
+    def test_warmup_tuples_first(self):
+        workload = build_workload(
+            WorkloadParams(n_queries=3, n_tuples=3, warmup_tuples=4, seed=4)
+        )
+        kinds = [event.kind for event in workload]
+        assert kinds == ["tuple"] * 4 + ["query"] * 3 + ["tuple"] * 3
+
+    def test_deterministic_for_seed(self):
+        params = WorkloadParams(n_queries=5, n_tuples=10, seed=5)
+        first = build_workload(params)
+        second = build_workload(params)
+        assert [str(e.payload) for e in first] == [str(e.payload) for e in second]
+
+    def test_different_seeds_differ(self):
+        first = build_workload(WorkloadParams(n_queries=5, n_tuples=10, seed=1))
+        second = build_workload(WorkloadParams(n_queries=5, n_tuples=10, seed=2))
+        assert [str(e.payload) for e in first] != [str(e.payload) for e in second]
+
+    def test_tuple_payloads_match_schema(self):
+        workload = build_workload(WorkloadParams(n_queries=1, n_tuples=10, seed=6))
+        for event in workload:
+            if event.kind == "tuple":
+                relation, values = event.payload
+                # DataTuple.make validates; raises SchemaError on mismatch.
+                from repro.sql.tuples import DataTuple
+
+                DataTuple.make(relation, values)
+
+    def test_custom_schema_accepted(self):
+        from repro.sql.schema import Schema
+
+        schema = Schema.from_dict({"X": ["p", "q"], "Y": ["r", "s"]})
+        workload = build_workload(
+            WorkloadParams(n_queries=4, n_tuples=4, seed=7), schema=schema
+        )
+        assert workload.schema is schema
+        for event in workload:
+            if event.kind == "query":
+                assert {event.payload.left.relation, event.payload.right.relation} == {
+                    "X",
+                    "Y",
+                }
