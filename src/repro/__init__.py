@@ -36,6 +36,7 @@ from .core import (
     subscribe_multiway,
 )
 from .errors import (
+    DeliveryError,
     NetworkError,
     ParseError,
     QueryError,
@@ -43,6 +44,7 @@ from .errors import (
     RoutingError,
     SchemaError,
 )
+from .faults import ChaosHarness, DelaySpec, FaultInjector, FaultPlan
 from .sim import LogicalClock, Simulator, TrafficStats
 from .sql import (
     DataTuple,
@@ -59,12 +61,17 @@ __version__ = "1.0.0"
 __all__ = [
     "ALGORITHMS",
     "CentralizedOracle",
+    "ChaosHarness",
     "ChordNetwork",
     "ChordNode",
     "ConsistentHash",
     "ContinuousQueryEngine",
     "DataTuple",
+    "DelaySpec",
+    "DeliveryError",
     "EngineConfig",
+    "FaultInjector",
+    "FaultPlan",
     "IdentifierSpace",
     "JoinQuery",
     "LoadSnapshot",

@@ -23,7 +23,7 @@ knowing their structure.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from ..errors import NetworkError
 from ..sim.stats import TrafficStats
@@ -32,6 +32,9 @@ from .idspace import IdentifierSpace
 from .node import DEFAULT_SUCCESSOR_LIST_SIZE, ChordNode
 from .routing import Router
 from . import stabilize as maintenance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 
 #: Called as ``transfer_hook(source_node, target_node)`` whenever
 #: responsibility moves between two nodes (join or voluntary leave).
@@ -46,15 +49,25 @@ class ChordNetwork:
         m: int = DEFAULT_M,
         successor_list_size: int = DEFAULT_SUCCESSOR_LIST_SIZE,
         stats: TrafficStats | None = None,
+        injector: Optional["FaultInjector"] = None,
     ):
         self.hash = ConsistentHash(m)
         self.space = IdentifierSpace(m)
         self.stats = stats if stats is not None else TrafficStats()
-        self.router = Router(self.space, self.stats)
+        self.router = Router(self.space, self.stats, injector=injector)
         self.successor_list_size = successor_list_size
         self._nodes: dict[int, ChordNode] = {}
         self._sorted_idents: list[int] = []
         self.transfer_hook: Optional[TransferHook] = None
+
+    @property
+    def injector(self) -> Optional["FaultInjector"]:
+        """The fault oracle the router consults (``None`` = cooperative)."""
+        return self.router.injector
+
+    @injector.setter
+    def injector(self, injector: Optional["FaultInjector"]) -> None:
+        self.router.injector = injector
 
     # ------------------------------------------------------------------
     # Construction
@@ -66,6 +79,7 @@ class ChordNetwork:
         m: int = DEFAULT_M,
         successor_list_size: int = DEFAULT_SUCCESSOR_LIST_SIZE,
         key_prefix: str = "node",
+        injector: Optional["FaultInjector"] = None,
     ) -> "ChordNetwork":
         """Create a stable ring of ``n_nodes`` nodes.
 
@@ -75,7 +89,9 @@ class ChordNetwork:
         """
         if n_nodes < 1:
             raise NetworkError("a network needs at least one node")
-        network = cls(m=m, successor_list_size=successor_list_size)
+        network = cls(
+            m=m, successor_list_size=successor_list_size, injector=injector
+        )
         for index in range(n_nodes):
             key = f"{key_prefix}-{index}"
             salt = 0

@@ -52,6 +52,7 @@ class ChordNode:
         "fingers",
         "successor_list",
         "successor_list_size",
+        "finger_cursor",
         "_handlers",
         "app",
     )
@@ -73,6 +74,9 @@ class ChordNode:
         self.fingers: list[Optional[ChordNode]] = [None] * space.m
         self.successor_list: list[ChordNode] = []
         self.successor_list_size = successor_list_size
+        #: Round-robin position of the periodic finger refresh
+        #: (``fix_next_finger``); node-local so rings never share it.
+        self.finger_cursor = 0
         self._handlers: dict[str, MessageHandler] = {}
         #: Application-level state attached by the query-processing
         #: engine (a ``NodeState``); opaque to the DHT layer.

@@ -19,13 +19,16 @@ by the benchmarks come from real routing-table walks.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from ..errors import RoutingError
+from ..errors import DeliveryError, RoutingError
 from ..sim.messages import Message
 from ..sim.stats import TrafficStats
 from .idspace import IdentifierSpace
 from .node import ChordNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 
 
 class Router:
@@ -35,11 +38,27 @@ class Router:
     state (fingers, successor lists) lives on the nodes themselves, so
     routing decisions only use information local to each hop, exactly as
     the protocol prescribes.
+
+    When a :class:`~repro.faults.injector.FaultInjector` is attached,
+    every final delivery consults it: dropped attempts are retried with
+    exponential backoff, a target whose attempts are exhausted is
+    reached through its successor list, and a typed
+    :class:`~repro.errors.DeliveryError` is raised only after both give
+    up.  Without an injector (or with an empty fault plan) the delivery
+    path is byte-for-byte the cooperative one, so traffic counts match
+    fault-free runs exactly.
     """
 
-    def __init__(self, space: IdentifierSpace, stats: TrafficStats | None = None):
+    def __init__(
+        self,
+        space: IdentifierSpace,
+        stats: TrafficStats | None = None,
+        injector: "FaultInjector | None" = None,
+    ):
         self.space = space
         self.stats = stats if stats is not None else TrafficStats()
+        #: Optional fault oracle consulted on every delivery.
+        self.injector = injector
         #: Routing gives up after this many hops; on a healthy ring the
         #: bound is ``O(log N) <= m``, so hitting the limit means the
         #: ring is broken beyond best-effort repair.
@@ -86,25 +105,117 @@ class Router:
     # send()
     # ------------------------------------------------------------------
     def send(self, source: ChordNode, message: Message, ident: int) -> ChordNode:
-        """Deliver ``message`` to ``Successor(ident)``; returns the target.
+        """Deliver ``message`` to ``Successor(ident)``; returns the recipient.
 
         Cost ``O(log N)`` overlay hops, all billed to the message type.
+        Under fault injection the recipient may be a successor-list
+        fallback of the responsible node (see :meth:`_deliver`).
         """
         target, hops = self.find_successor(source, ident)
         self.stats.record(message.type, hops)
-        target.deliver(message)
-        return target
+        return self._deliver(message, target)
 
     def send_direct(self, source: ChordNode, message: Message, target: ChordNode) -> None:
         """One-hop delivery to a node whose address is already known.
 
         Used for notification delivery via a subscriber's IP address
         (Section 4.6) and by the JFRT optimization (Section 4.7.1).
-        ``source`` may equal ``target`` (zero hops).
+        ``source`` may equal ``target`` (zero hops).  Direct deliveries
+        can be dropped (and are then retried) but are never delayed:
+        they model a single point-to-point IP message, not a multi-hop
+        overlay route.
         """
         hops = 0 if source is target else 1
         self.stats.record(message.type, hops)
-        target.deliver(message)
+        self._deliver(message, target, may_delay=False)
+
+    # ------------------------------------------------------------------
+    # Final-hop delivery under fault injection
+    # ------------------------------------------------------------------
+    def _deliver(
+        self, message: Message, target: ChordNode, *, may_delay: bool = True
+    ) -> ChordNode:
+        """Hand ``message`` to ``target``, consulting the fault oracle.
+
+        The cooperative fast path (no injector, or an empty plan) is a
+        plain ``target.deliver`` — no extra accounting, no RNG draws —
+        which is what keeps empty-plan runs identical to the seed.
+
+        With faults active: each attempt may be dropped; dropped
+        attempts retry with exponential backoff up to
+        ``plan.max_attempts``; once exhausted the message falls back to
+        the target's successor list (the nodes that inherit the
+        target's range if it is truly gone) with one attempt per live
+        successor; when even those drop, a typed ``DeliveryError``
+        surfaces.  Surviving messages may then be deferred by injected
+        delay instead of landing immediately.
+        """
+        injector = self.injector
+        if injector is None or not injector.perturbs_delivery:
+            if not target.alive:
+                target = self._successor_fallback(message, target, attempts=1)
+            target.deliver(message)
+            return target
+
+        recipient = target if target.alive else self._successor_fallback(
+            message, target, attempts=1
+        )
+        attempts = 1
+        while injector.should_drop():
+            self.stats.record_drop(message.type)
+            if attempts >= injector.plan.max_attempts:
+                return self._deliver_via_fallback(
+                    message, recipient, attempts, may_delay=may_delay
+                )
+            self.stats.record_retry(message.type)
+            injector.note_backoff(attempts)
+            attempts += 1
+        return self._finish_delivery(message, recipient, may_delay=may_delay)
+
+    def _finish_delivery(
+        self, message: Message, recipient: ChordNode, *, may_delay: bool
+    ) -> ChordNode:
+        """Land a surviving message — now, or deferred by injected delay."""
+        if may_delay:
+            delay = self.injector.sample_delay()
+            if delay > 0.0:
+                self.stats.record_delayed(message.type)
+                self.injector.defer(message, recipient, delay)
+                return recipient
+        recipient.deliver(message)
+        return recipient
+
+    def _deliver_via_fallback(
+        self, message: Message, target: ChordNode, attempts: int, *, may_delay: bool
+    ) -> ChordNode:
+        """Successor-list routing once direct attempts are exhausted.
+
+        Mirrors Chord's failure handling: the successors inherit the
+        failed node's key range, so they are both reachable and (after
+        stabilization) the correct owners of the message's identifier.
+        Each live successor gets one delivery attempt; when all of them
+        drop too, the typed ``DeliveryError`` finally surfaces.
+        """
+        injector = self.injector
+        for candidate in target.successor_list:
+            if not candidate.alive or candidate is target:
+                continue
+            attempts += 1
+            self.stats.record_retry(message.type)
+            if injector.should_drop():
+                self.stats.record_drop(message.type)
+                continue
+            return self._finish_delivery(message, candidate, may_delay=may_delay)
+        raise DeliveryError(message.type, target.ident, attempts)
+
+    def _successor_fallback(
+        self, message: Message, target: ChordNode, *, attempts: int
+    ) -> ChordNode:
+        """The first live successor-list entry of a crashed target."""
+        for candidate in target.successor_list:
+            if candidate.alive and candidate is not target:
+                return candidate
+        raise DeliveryError(message.type, target.ident, attempts)
 
     # ------------------------------------------------------------------
     # multisend()
@@ -184,8 +295,9 @@ class Router:
                 ident = queue.pop(0)
                 for position in pending[ident]:
                     if targets[position] is None:
-                        targets[position] = responsible
-                        responsible.deliver(messages[position])
+                        targets[position] = self._deliver(
+                            messages[position], responsible
+                        )
                         break
             current = responsible
         self._record_mixed_batch(messages, total_hops)

@@ -19,9 +19,6 @@ from .node import ChordNode
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .routing import Router
 
-#: Per-node cursor for round-robin finger refresh, keyed by node id.
-_finger_cursor: dict[int, int] = {}
-
 
 def stabilize(node: ChordNode) -> None:
     """One stabilization step for ``node``.
@@ -34,7 +31,14 @@ def stabilize(node: ChordNode) -> None:
         return
     successor = node.successor
     if successor is node:
-        return
+        # Every successor-list entry died at once (a burst of crashes
+        # wider than the list).  Fall back to the nearest live finger
+        # or the predecessor as an interim successor; the normal
+        # stabilize/notify cycle then walks it back to the true one.
+        successor = _emergency_successor(node)
+        if successor is None:
+            return
+        node.set_successor(successor)
     candidate = successor.predecessor
     if (
         candidate is not None
@@ -46,6 +50,27 @@ def stabilize(node: ChordNode) -> None:
         successor = candidate
     notify(successor, node)
     node.refresh_successor_list()
+
+
+def _emergency_successor(node: ChordNode) -> ChordNode | None:
+    """The closest live node clockwise of ``node`` it still knows about.
+
+    Consulted only when the whole successor list is dead; scans the
+    finger table plus the predecessor pointer.  Returns ``None`` when
+    the node knows no other live node (e.g. a one-node ring).
+    """
+    best: ChordNode | None = None
+    best_distance: int | None = None
+    candidates = list(node.fingers)
+    if node.predecessor is not None:
+        candidates.append(node.predecessor)
+    for candidate in candidates:
+        if candidate is None or candidate is node or not candidate.alive:
+            continue
+        distance = node.space.distance(node.ident, candidate.ident)
+        if best_distance is None or distance < best_distance:
+            best, best_distance = candidate, distance
+    return best
 
 
 def notify(node: ChordNode, candidate: ChordNode) -> None:
@@ -77,7 +102,11 @@ def fix_finger(node: ChordNode, index: int, router: "Router") -> None:
 
 
 def fix_next_finger(node: ChordNode, router: "Router") -> None:
-    """Refresh one finger per call, round-robin (the protocol's pacing)."""
-    cursor = _finger_cursor.get(id(node), 0)
-    fix_finger(node, cursor, router)
-    _finger_cursor[id(node)] = (cursor + 1) % node.space.m
+    """Refresh one finger per call, round-robin (the protocol's pacing).
+
+    The cursor lives on the node itself: a module-level table keyed by
+    ``id(node)`` would leak entries for dead nodes and could alias
+    recycled object ids across independently built networks.
+    """
+    fix_finger(node, node.finger_cursor, router)
+    node.finger_cursor = (node.finger_cursor + 1) % node.space.m

@@ -175,17 +175,28 @@ class Algorithm:
         raise NotImplementedError
 
     def index_query(
-        self, engine: "ContinuousQueryEngine", origin: ChordNode, query: JoinQuery
-    ) -> None:
+        self,
+        engine: "ContinuousQueryEngine",
+        origin: ChordNode,
+        query: JoinQuery,
+        *,
+        labels: Optional[list[str]] = None,
+        refresh: bool = False,
+    ) -> list[str]:
         """Route ``query(q, Id(n), IP(n))`` messages to the rewriter(s).
 
         With attribute-level replication the query is stored at every
-        replica so that no replica misses a triggering tuple.
+        replica so that no replica misses a triggering tuple.  Returns
+        the index side(s) used; lease renewals pass them back in via
+        ``labels`` (with ``refresh=True``) so the soft-state refresh
+        reaches exactly the rewriters chosen at subscription time.
         """
         self.validate_query(query)
+        if labels is None:
+            labels = self.index_labels(engine, origin, query)
         idents: list[int] = []
         messages: list[QueryIndexMessage] = []
-        for label in self.index_labels(engine, origin, query):
+        for label in labels:
             side = query.side(label)
             attribute = query.index_attribute(label)
             for ident in engine.replication.rewriter_identifiers(
@@ -193,7 +204,12 @@ class Algorithm:
             ):
                 idents.append(ident)
                 messages.append(
-                    QueryIndexMessage(query=query, index_side=label, routing_ident=ident)
+                    QueryIndexMessage(
+                        query=query,
+                        index_side=label,
+                        routing_ident=ident,
+                        refresh=refresh,
+                    )
                 )
         router = engine.network.router
         if len(idents) == 1:
@@ -202,25 +218,42 @@ class Algorithm:
             router.multisend(
                 origin, messages, idents, recursive=engine.config.recursive_multisend
             )
+        return labels
 
     def on_query(
         self, engine: "ContinuousQueryEngine", node: ChordNode, msg: QueryIndexMessage
     ) -> None:
-        """Rewriter stores the query in its ALQT (Section 4.3.1)."""
+        """Rewriter stores the query in its ALQT (Section 4.3.1).
+
+        Re-installation is idempotent (the ALQT deduplicates); a lease
+        renewal that actually restores a missing copy is counted as a
+        crash-recovery re-install.
+        """
         state = engine.state(node)
         state.load.messages_processed += 1
-        state.alqt.add(StoredQuery(msg.query, msg.index_side, msg.routing_ident))
+        _, is_new = state.alqt.add(
+            StoredQuery(msg.query, msg.index_side, msg.routing_ident)
+        )
+        if msg.refresh and is_new:
+            state.load.lease_reinstalls += 1
 
     # ------------------------------------------------------------------
     # Tuple indexing (Section 4.2)
     # ------------------------------------------------------------------
     def index_tuple(
-        self, engine: "ContinuousQueryEngine", origin: ChordNode, tup: DataTuple
+        self,
+        engine: "ContinuousQueryEngine",
+        origin: ChordNode,
+        tup: DataTuple,
+        *,
+        refresh: bool = False,
     ) -> None:
         """Send the ``al-index``/``vl-index`` messages for every attribute.
 
         One ``multisend`` ships the full set (``2h`` identifiers, or
-        ``h`` under DAI-V which skips the value level).
+        ``h`` under DAI-V which skips the value level).  Crash-recovery
+        republication sets ``refresh`` so receivers deduplicate instead
+        of double-counting.
         """
         relation = tup.relation
         idents: list[int] = []
@@ -230,13 +263,17 @@ class Algorithm:
                 engine.network.hash, relation.name, attribute, engine.rng
             )
             idents.append(a_ident)
-            messages.append(ALIndexMessage(tuple=tup, index_attribute=attribute))
+            messages.append(
+                ALIndexMessage(tuple=tup, index_attribute=attribute, refresh=refresh)
+            )
             if self.indexes_tuples_at_value_level:
                 v_ident = engine.network.hash(
                     make_key(relation.name, attribute, canonical_value(tup.value(attribute)))
                 )
                 idents.append(v_ident)
-                messages.append(VLIndexMessage(tuple=tup, index_attribute=attribute))
+                messages.append(
+                    VLIndexMessage(tuple=tup, index_attribute=attribute, refresh=refresh)
+                )
         engine.network.router.multisend(
             origin, messages, idents, recursive=engine.config.recursive_multisend
         )
@@ -252,8 +289,9 @@ class Algorithm:
         tup = msg.tuple
         relation = tup.relation.name
         attribute = msg.index_attribute
-        stats = state.arrivals.setdefault((relation, attribute), ArrivalStats())
-        stats.record(tup.value(attribute))
+        if not msg.refresh:
+            stats = state.arrivals.setdefault((relation, attribute), ArrivalStats())
+            stats.record(tup.value(attribute))
 
         groups = state.alqt.groups_for(relation, attribute)
         if not groups:
@@ -263,7 +301,9 @@ class Algorithm:
         batches: dict[int, tuple[list[RewrittenQuery], list[Any]]] = {}
         sent_by_group: list[tuple[QueryGroup, list[str]]] = []
         for group in groups:
-            sent_keys = self._rewrite_group(engine, state, group, tup, batches)
+            sent_keys = self._rewrite_group(
+                engine, state, group, tup, batches, force_resend=msg.refresh
+            )
             if sent_keys:
                 sent_by_group.append((group, sent_keys))
         if batches:
@@ -278,10 +318,14 @@ class Algorithm:
         group: QueryGroup,
         tup: DataTuple,
         batches: dict[int, tuple[list[RewrittenQuery], list[Any]]],
+        *,
+        force_resend: bool = False,
     ) -> list[str]:
         """Trigger one query group with ``tup``; fill evaluator batches.
 
         Returns the rewritten keys to remember as "sent" (DAI-T only).
+        ``force_resend`` bypasses the never-resend memory so republished
+        tuples can rebuild evaluator state lost to a crash.
         """
         sent_keys: list[str] = []
         seen_keys: set[str] = set()
@@ -297,7 +341,7 @@ class Algorithm:
             if rewritten.key in seen_keys:
                 continue
             seen_keys.add(rewritten.key)
-            if self._skip_already_sent(engine, group, rewritten):
+            if not force_resend and self._skip_already_sent(engine, group, rewritten):
                 continue
             ident = self.evaluator_ident(engine, rewritten)
             rewritten_list, projection_list = batches.setdefault(ident, ([], []))

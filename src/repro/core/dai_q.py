@@ -50,9 +50,12 @@ class DAIQuery(DoubleAttributeIndex):
     ) -> None:
         """Store the tuple so it is available when rewritten queries
         arrive; create no notifications (that would duplicate the ones
-        the other rewriter produces)."""
+        the other rewriter produces).  Republished tuples
+        (``msg.refresh``) are stored only when missing."""
         state = engine.state(node)
         state.load.messages_processed += 1
+        if msg.refresh and state.vltt.contains(msg.tuple, msg.index_attribute):
+            return
         ident = engine.network.hash(
             make_key(
                 msg.tuple.relation.name,

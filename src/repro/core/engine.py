@@ -108,16 +108,28 @@ class ContinuousQueryEngine:
         self._query_counter = itertools.count()
         #: Queries by key, as bound at subscription time.
         self.queries: dict[str, JoinQuery] = {}
+        #: Index side(s) chosen for each query at subscription time —
+        #: lease renewals and unsubscription replay exactly this choice
+        #: instead of re-running the (possibly randomized) strategy.
+        self._query_labels: dict[str, list[str]] = {}
         #: Subscriber node by identifier, for direct delivery.
         self._subscriber_nodes: dict[int, ChordNode] = {}
         #: Online/offline presence per subscriber identifier.
         self._presence: dict[int, bool] = {}
+        #: Publication log in ``pub_time`` order — the soft-state source
+        #: for crash-recovery republication (publishers are assumed to
+        #: keep their own tuples, as in the paper's best-effort model).
+        self._publications: list[DataTuple] = []
         #: Notifications by query key, in delivery order.
         self.delivered: dict[str, list[Notification]] = {}
         self._delivered_identities: dict[str, set] = {}
         #: Notifications whose identity had already been delivered
         #: (should stay 0; tracked for the duplicate-avoidance claims).
         self.duplicate_deliveries = 0
+        #: Re-created notifications filtered before the network hop
+        #: because the subscriber already holds the identity (the
+        #: crash-recovery duplicate-suppression path).
+        self.suppressed_renotifications = 0
         #: Callbacks fired on first delivery of each answer identity,
         #: keyed by query key (used by the multiway-join pipeline).
         self._notification_listeners: dict[str, list] = {}
@@ -196,7 +208,7 @@ class ContinuousQueryEngine:
         self._presence.setdefault(origin.ident, True)
         self.delivered.setdefault(key, [])
         self._delivered_identities.setdefault(key, set())
-        self.algorithm.index_query(self, origin, bound)
+        self._query_labels[key] = self.algorithm.index_query(self, origin, bound)
         return bound
 
     def publish(
@@ -207,8 +219,50 @@ class ContinuousQueryEngine:
     ) -> DataTuple:
         """Insert a tuple from ``origin`` (``pubT`` = current time)."""
         tup = DataTuple.make(relation, values, pub_time=self.clock.now)
+        self._publications.append(tup)
         self.algorithm.index_tuple(self, origin, tup)
         return tup
+
+    def refresh_leases(self) -> dict[str, int]:
+        """Re-assert all soft state (queries as leases, tuples replayed).
+
+        Crash recovery in the spirit of the paper's best-effort model:
+        subscribers periodically re-install their queries (the ALQT
+        deduplicates, so an intact rewriter is a no-op and a restarted
+        one recovers the query) and publishers replay tuples still
+        inside the window with ``refresh=True`` so receivers rebuild
+        lost value-level state without double-counting.  Duplicate
+        notifications re-created along the way are suppressed against
+        the subscriber's delivered set.  Returns the renewal counts.
+        """
+        queries_renewed = 0
+        for key, query in list(self.queries.items()):
+            origin = self._subscriber_nodes.get(query.subscriber.ident)
+            if origin is None or not origin.alive:
+                origin = self.network.responsible_node(query.subscriber.ident)
+            self.algorithm.index_query(
+                self,
+                origin,
+                query,
+                labels=self._query_labels.get(key),
+                refresh=True,
+            )
+            queries_renewed += 1
+        horizon = (
+            None
+            if self.config.window is None
+            else self.clock.now - self.config.window
+        )
+        tuples_replayed = 0
+        for tup in self._publications:
+            if horizon is not None and tup.pub_time < horizon:
+                continue
+            origin = self.network.responsible_node(
+                self.network.hash(tup.relation.name)
+            )
+            self.algorithm.index_tuple(self, origin, tup, refresh=True)
+            tuples_replayed += 1
+        return {"queries": queries_renewed, "tuples": tuples_replayed}
 
     def unsubscribe(self, origin: ChordNode, query: JoinQuery) -> None:
         """Best-effort removal of a query from its rewriter(s).
@@ -222,7 +276,10 @@ class ContinuousQueryEngine:
             raise QueryError(f"unknown query {query.key!r}")
         del self.queries[query.key]
         message = UnsubscribeMessage(query_key=query.key)
-        for label in self.algorithm.index_labels(self, origin, query):
+        labels = self._query_labels.pop(query.key, None)
+        if labels is None:
+            labels = self.algorithm.index_labels(self, origin, query)
+        for label in labels:
             side = query.side(label)
             attribute = query.index_attribute(label)
             for ident in self.replication.rewriter_identifiers(
@@ -246,8 +303,8 @@ class ContinuousQueryEngine:
         state = self.state(node)
         parked = state.parked.pop(node.ident, [])
         for notification in parked:
-            state.inbox.append(notification)
-            self._record_delivery(state, notification)
+            if self._record_delivery(state, notification):
+                state.inbox.append(notification)
         return parked
 
     def is_online(self, ident: int) -> bool:
@@ -256,9 +313,23 @@ class ContinuousQueryEngine:
     def deliver_notifications(
         self, from_node: ChordNode, notifications: Iterable[Notification]
     ) -> None:
-        """Ship notifications to their subscribers (Section 4.6)."""
+        """Ship notifications to their subscribers (Section 4.6).
+
+        Identities the subscriber has already received are filtered out
+        before the network hop: a restarted evaluator loses its
+        ``emitted`` memory, so crash-recovery replay can legitimately
+        re-create an answer — the filter keeps delivery exactly-once.
+        """
         for subscriber_ident, batch in group_by_subscriber(notifications).items():
-            live = [n for n in batch if n.query_key in self.queries]
+            live = []
+            for notification in batch:
+                if notification.query_key not in self.queries:
+                    continue
+                seen = self._delivered_identities.get(notification.query_key)
+                if seen is not None and notification.identity in seen:
+                    self.suppressed_renotifications += 1
+                    continue
+                live.append(notification)
             if not live:
                 continue
             message = NotificationMessage(
@@ -280,8 +351,8 @@ class ContinuousQueryEngine:
             msg.subscriber_ident, False
         ):
             for notification in msg.notifications:
-                state.inbox.append(notification)
-                self._record_delivery(state, notification)
+                if self._record_delivery(state, notification):
+                    state.inbox.append(notification)
         else:
             state.parked.setdefault(msg.subscriber_ident, []).extend(
                 msg.notifications
@@ -295,20 +366,26 @@ class ContinuousQueryEngine:
         """
         self._notification_listeners.setdefault(query_key, []).append(callback)
 
-    def _record_delivery(self, state: NodeState, notification: Notification) -> None:
+    def _record_delivery(self, state: NodeState, notification: Notification) -> bool:
+        """Record one arriving notification; True when its identity is new.
+
+        Duplicate identities (possible only when crash recovery replays
+        an answer) are counted and dropped so the delivered lists and
+        subscriber inboxes keep the paper's set semantics.
+        """
         identities = self._delivered_identities.setdefault(
             notification.query_key, set()
         )
-        is_new = notification.identity not in identities
-        if not is_new:
+        if notification.identity in identities:
             self.duplicate_deliveries += 1
+            return False
         identities.add(notification.identity)
         self.delivered.setdefault(notification.query_key, []).append(notification)
-        if is_new:
-            for callback in self._notification_listeners.get(
-                notification.query_key, ()
-            ):
-                callback(notification)
+        for callback in self._notification_listeners.get(
+            notification.query_key, ()
+        ):
+            callback(notification)
+        return True
 
     def _on_unsubscribe(self, node: ChordNode, msg: UnsubscribeMessage) -> None:
         self.state(node).alqt.remove(msg.query_key)

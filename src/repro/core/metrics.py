@@ -38,6 +38,12 @@ class LoadSnapshot:
     parked_notifications: dict[int, int]
     notifications_created: dict[int, int]
     messages_processed: dict[int, int]
+    lease_reinstalls: dict[int, int]
+
+    @property
+    def total_lease_reinstalls(self) -> int:
+        """Soft-state query copies actually restored by lease renewal."""
+        return sum(self.lease_reinstalls.values())
 
     # -- totals ---------------------------------------------------------
     @property
@@ -108,6 +114,7 @@ class LoadSnapshot:
                 self.notifications_created, earlier.notifications_created
             ),
             messages_processed=delta(self.messages_processed, earlier.messages_processed),
+            lease_reinstalls=delta(self.lease_reinstalls, earlier.lease_reinstalls),
         )
 
 
@@ -122,6 +129,7 @@ def snapshot(engine: "ContinuousQueryEngine") -> LoadSnapshot:
     parked: dict[int, int] = {}
     created: dict[int, int] = {}
     processed: dict[int, int] = {}
+    reinstalls: dict[int, int] = {}
     for node in engine.network:
         state = engine.state(node)
         breakdown = state.storage_breakdown()
@@ -135,6 +143,7 @@ def snapshot(engine: "ContinuousQueryEngine") -> LoadSnapshot:
         parked[ident] = breakdown.parked_notifications
         created[ident] = state.load.notifications_created
         processed[ident] = state.load.messages_processed
+        reinstalls[ident] = state.load.lease_reinstalls
     return LoadSnapshot(
         filtering=filtering,
         attribute_level_filtering=al_filtering,
@@ -145,4 +154,5 @@ def snapshot(engine: "ContinuousQueryEngine") -> LoadSnapshot:
         parked_notifications=parked,
         notifications_created=created,
         messages_processed=processed,
+        lease_reinstalls=reinstalls,
     )

@@ -86,18 +86,25 @@ class SingleAttributeIndex(Algorithm):
     def on_vl_index(
         self, engine: "ContinuousQueryEngine", node: ChordNode, msg: VLIndexMessage
     ) -> None:
-        """Match the tuple against VLQT, then store it in VLTT."""
+        """Match the tuple against VLQT, then store it in VLTT.
+
+        A crash-recovery republication (``msg.refresh``) still matches —
+        the evaluator may have lost its VLQT — but skips the store when
+        the identical tuple is already held, so surviving evaluators do
+        not inflate their VLTT.
+        """
         state = engine.state(node)
         state.load.messages_processed += 1
         notifications = self._match_tuple_against_rewritten(
             engine, state, msg.tuple, msg.index_attribute
         )
-        ident = engine.network.hash(
-            make_key(
-                msg.tuple.relation.name,
-                msg.index_attribute,
-                canonical_value(msg.tuple.value(msg.index_attribute)),
+        if not (msg.refresh and state.vltt.contains(msg.tuple, msg.index_attribute)):
+            ident = engine.network.hash(
+                make_key(
+                    msg.tuple.relation.name,
+                    msg.index_attribute,
+                    canonical_value(msg.tuple.value(msg.index_attribute)),
+                )
             )
-        )
-        state.vltt.add(StoredTuple(msg.tuple, msg.index_attribute, ident))
+            state.vltt.add(StoredTuple(msg.tuple, msg.index_attribute, ident))
         engine.deliver_notifications(node, notifications)

@@ -63,8 +63,15 @@ class AttributeLevelQueryTable:
         self._buckets: dict[tuple[str, str], dict[str, QueryGroup]] = {}
         self._count = 0
 
-    def add(self, stored: StoredQuery) -> QueryGroup:
-        """Index a query under its (relation, index attribute) bucket."""
+    def add(self, stored: StoredQuery) -> tuple[QueryGroup, bool]:
+        """Index a query under its (relation, index attribute) bucket.
+
+        Returns ``(group, is_new)``.  A copy with the same
+        ``(query key, index side, routing identifier)`` is already
+        present exactly when a soft-state lease renewal reaches a
+        rewriter that never lost the query — the renewal is then a
+        no-op, which is what makes periodic re-installation idempotent.
+        """
         query = stored.query
         side = query.side(stored.index_label)
         level1 = (side.relation, query.index_attribute(stored.index_label))
@@ -74,9 +81,16 @@ class AttributeLevelQueryTable:
         if group is None:
             group = QueryGroup(signature)
             groups[signature] = group
+        for entry in group.entries:
+            if (
+                entry.query.key == query.key
+                and entry.index_label == stored.index_label
+                and entry.routing_ident == stored.routing_ident
+            ):
+                return group, False
         group.entries.append(stored)
         self._count += 1
-        return group
+        return group, True
 
     def groups_for(self, relation: str, attribute: str) -> list[QueryGroup]:
         """All groups a tuple indexed by ``(relation, attribute)`` can hit."""
@@ -280,6 +294,16 @@ class ValueLevelTupleTable:
         if not level2:
             return []
         return list(level2.get(value, ()))
+
+    def contains(self, tup: DataTuple, attribute: str) -> bool:
+        """True when this exact tuple is already stored under
+        ``attribute`` (used to deduplicate crash-recovery republication)."""
+        level2 = self._buckets.get((tup.relation.name, attribute))
+        if not level2:
+            return False
+        return any(
+            stored.tuple == tup for stored in level2.get(tup.value(attribute), ())
+        )
 
     def evict_older_than(self, cutoff: float) -> int:
         evicted = 0

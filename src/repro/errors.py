@@ -25,3 +25,23 @@ class ParseError(QueryError):
 
 class NetworkError(ReproError):
     """Invalid overlay operation (duplicate join, dead node, ...)."""
+
+
+class DeliveryError(NetworkError):
+    """A message could not be delivered despite retries and fallback.
+
+    Raised by the routing layer only after every delivery attempt to
+    the responsible node *and* the successor-list fallback have been
+    exhausted (see ``Router`` and ``FaultInjector``); a healthy ring
+    without fault injection never raises it.
+    """
+
+    def __init__(self, message_type: str, target_ident: int, attempts: int):
+        self.message_type = message_type
+        self.target_ident = target_ident
+        self.attempts = attempts
+        super().__init__(
+            f"delivery of {message_type!r} to node {target_ident} failed "
+            f"after {attempts} attempts (retries and successor fallback "
+            f"exhausted)"
+        )

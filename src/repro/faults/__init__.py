@@ -1,0 +1,23 @@
+"""Fault injection and crash recovery for the overlay and the engine.
+
+The paper evaluates query processing on a cooperative ring; this
+package supplies the adversarial counterpart: a declarative, seedable
+:class:`FaultPlan` (message loss, delivery delay, crash/restart churn),
+the :class:`FaultInjector` the router and simulator consult, and the
+:class:`ChaosHarness` recovery choreography (stabilize → refresh
+leases → flush) that restores oracle-exact answer sets after crashes.
+"""
+
+from .injector import DeferredDelivery, FaultInjector
+from .plan import DelaySpec, FaultPlan
+from .recovery import ChaosHarness
+from .schedule import install_fault_plan
+
+__all__ = [
+    "ChaosHarness",
+    "DeferredDelivery",
+    "DelaySpec",
+    "FaultInjector",
+    "FaultPlan",
+    "install_fault_plan",
+]

@@ -1,0 +1,118 @@
+"""Declarative fault schedules for chaos experiments.
+
+The paper's evaluation assumes a cooperative ring; this module captures
+the *adversarial* settings a real deployment faces — message loss,
+delivery delay, abrupt node crashes and crash/restart churn — as one
+declarative, seedable :class:`FaultPlan`.  A plan is pure data: the
+:class:`~repro.faults.injector.FaultInjector` interprets it, the
+:class:`~repro.chord.routing.Router` consults the injector on every
+delivery, and :func:`repro.faults.schedule.install_fault_plan` turns the
+crash/churn knobs into simulator events.
+
+An all-defaults plan is a guaranteed no-op: the router takes exactly
+the code path it takes without an injector, so hop and message counts
+are bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Distribution of injected delivery delays (logical time units).
+
+    With probability ``probability`` a routed delivery is deferred by a
+    delay drawn uniformly from ``(minimum, maximum]``; deferred messages
+    sit in the injector's delay queue until flushed (or, when a
+    simulator is attached, until their scheduled event fires).
+    """
+
+    probability: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("delay probability must be in [0, 1]")
+        if self.minimum < 0 or self.maximum < self.minimum:
+            raise ValueError("delay bounds must satisfy 0 <= minimum <= maximum")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.probability == 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault knob of one chaos run, in one seedable record.
+
+    Parameters
+    ----------
+    loss_probability:
+        Chance that any single delivery attempt is dropped.  Dropped
+        attempts are retried with backoff (see ``max_attempts``); a
+        message is only *lost* when every attempt plus the
+        successor-list fallback is exhausted.
+    delay:
+        Injected delivery-delay distribution (see :class:`DelaySpec`).
+    crash_every:
+        Crash one node every this many time units (0 disables).  Used
+        by :func:`~repro.faults.schedule.install_fault_plan`.
+    crash_count:
+        Stop crashing after this many victims (0 = unlimited).
+    restart_after:
+        Crashed nodes rejoin this many time units later under their old
+        key (0 disables restarts).
+    lease_refresh_every:
+        Period of the soft-state lease refresh (query re-install +
+        windowed tuple republication); 0 leaves refreshing to the
+        caller.
+    max_attempts:
+        Delivery attempts per target before falling back to the
+        successor list.
+    backoff_base:
+        Logical backoff after attempt ``k`` is ``backoff_base * 2**k``
+        (recorded, and respected as extra delay when deliveries are
+        deferred through a simulator).
+    seed:
+        Seed of the injector's private RNG; fault decisions never touch
+        workload or engine RNG streams, so runs are reproducible.
+    """
+
+    loss_probability: float = 0.0
+    delay: DelaySpec = field(default_factory=DelaySpec)
+    crash_every: float = 0.0
+    crash_count: int = 0
+    restart_after: float = 0.0
+    lease_refresh_every: float = 0.0
+    max_attempts: int = 8
+    backoff_base: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.crash_every < 0 or self.restart_after < 0:
+            raise ValueError("crash/restart periods must be non-negative")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def perturbs_delivery(self) -> bool:
+        """True when the router must consult the injector per delivery."""
+        return self.loss_probability > 0.0 or not self.delay.is_noop
+
+    @property
+    def schedules_churn(self) -> bool:
+        """True when the plan asks the simulator to crash/restart nodes."""
+        return self.crash_every > 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        """An empty plan changes nothing about a run."""
+        return not self.perturbs_delivery and not self.schedules_churn

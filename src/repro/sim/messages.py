@@ -47,6 +47,9 @@ class QueryIndexMessage(Message):
     #: The identifier this copy was addressed to (one per replica);
     #: stored with the query so key handoff on churn can find it.
     routing_ident: int = 0
+    #: True for soft-state lease renewals: the rewriter deduplicates
+    #: against its ALQT and counts an actual re-install as recovery.
+    refresh: bool = False
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,10 @@ class ALIndexMessage(Message):
     type: ClassVar[str] = "al-index"
     tuple: "DataTuple" = None  # type: ignore[assignment]
     index_attribute: str = ""
+    #: True when the tuple is republished during crash recovery: the
+    #: rewriter then skips arrival-rate accounting and bypasses the
+    #: DAI-T never-resend memory so lost evaluator state is rebuilt.
+    refresh: bool = False
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,9 @@ class VLIndexMessage(Message):
     type: ClassVar[str] = "vl-index"
     tuple: "DataTuple" = None  # type: ignore[assignment]
     index_attribute: str = ""
+    #: True for crash-recovery republication: evaluators skip storing
+    #: tuples they already hold (matching still runs).
+    refresh: bool = False
 
 
 @dataclass(frozen=True)

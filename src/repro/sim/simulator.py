@@ -17,6 +17,9 @@ from .events import Action, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..chord.network import ChordNetwork
+    from ..core.engine import ContinuousQueryEngine
+    from ..faults.injector import FaultInjector
+    from ..faults.recovery import ChaosHarness
 
 
 class Simulator:
@@ -76,6 +79,31 @@ class Simulator:
 
         if until is None or first <= until:
             self.queue.push(first, fire, label)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def attach_faults(
+        self,
+        injector: "FaultInjector",
+        engine: "ContinuousQueryEngine | None" = None,
+        protect=(),
+        *,
+        until: float | None = None,
+    ) -> "ChaosHarness | None":
+        """Consult ``injector`` for churn, delays and lease refreshes.
+
+        Injected delivery delays become timed events of this simulator,
+        and the plan's ``crash_every`` / ``restart_after`` /
+        ``lease_refresh_every`` knobs are scheduled as periodic events
+        (victims never come from ``protect``).  Returns the
+        :class:`~repro.faults.recovery.ChaosHarness` driving the churn.
+        """
+        from ..faults.schedule import install_fault_plan
+
+        return install_fault_plan(
+            self, injector, engine=engine, protect=protect, until=until
+        )
 
     # ------------------------------------------------------------------
     # Execution

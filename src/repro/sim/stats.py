@@ -30,6 +30,9 @@ class TrafficSnapshot:
     messages: int
     hops_by_type: dict[str, int]
     messages_by_type: dict[str, int]
+    messages_dropped: int = 0
+    retries: int = 0
+    messages_delayed: int = 0
 
 
 @dataclass
@@ -40,6 +43,13 @@ class TrafficStats:
     messages: int = 0
     hops_by_type: Counter = field(default_factory=Counter)
     messages_by_type: Counter = field(default_factory=Counter)
+    #: Fault accounting (all stay 0 without an active fault plan):
+    #: delivery attempts lost in transit, retransmissions after a loss,
+    #: and deliveries deferred by injected delay.
+    messages_dropped: int = 0
+    retries: int = 0
+    messages_delayed: int = 0
+    dropped_by_type: Counter = field(default_factory=Counter)
 
     def record(self, message_type: str, hops: int) -> None:
         """Account one routed message that took ``hops`` overlay hops."""
@@ -69,6 +79,21 @@ class TrafficStats:
         self.hops += hops
         self.hops_by_type[message_type] += hops
 
+    def record_drop(self, message_type: str) -> None:
+        """Account one delivery attempt lost by fault injection."""
+        self.messages_dropped += 1
+        self.dropped_by_type[message_type] += 1
+
+    def record_retry(self, message_type: str) -> None:
+        """Account one retransmission after a dropped attempt."""
+        del message_type
+        self.retries += 1
+
+    def record_delayed(self, message_type: str) -> None:
+        """Account one delivery deferred by injected delay."""
+        del message_type
+        self.messages_delayed += 1
+
     def snapshot(self) -> TrafficSnapshot:
         """Copy the current counters."""
         return TrafficSnapshot(
@@ -76,6 +101,9 @@ class TrafficStats:
             messages=self.messages,
             hops_by_type=dict(self.hops_by_type),
             messages_by_type=dict(self.messages_by_type),
+            messages_dropped=self.messages_dropped,
+            retries=self.retries,
+            messages_delayed=self.messages_delayed,
         )
 
     def since(self, earlier: TrafficSnapshot) -> TrafficSnapshot:
@@ -91,6 +119,9 @@ class TrafficStats:
                 key: count - earlier.messages_by_type.get(key, 0)
                 for key, count in self.messages_by_type.items()
             },
+            messages_dropped=self.messages_dropped - earlier.messages_dropped,
+            retries=self.retries - earlier.retries,
+            messages_delayed=self.messages_delayed - earlier.messages_delayed,
         )
 
     def reset(self) -> None:
@@ -99,6 +130,10 @@ class TrafficStats:
         self.messages = 0
         self.hops_by_type.clear()
         self.messages_by_type.clear()
+        self.messages_dropped = 0
+        self.retries = 0
+        self.messages_delayed = 0
+        self.dropped_by_type.clear()
 
 
 @dataclass
@@ -117,6 +152,10 @@ class NodeLoad:
     value_level_filtering: int = 0
     messages_processed: int = 0
     notifications_created: int = 0
+    #: Lease refreshes that actually *restored* a query copy this node
+    #: was missing (crash recovery); refreshes of present copies are
+    #: deduplicated and not counted.
+    lease_reinstalls: int = 0
 
     def add_attribute_level(self, candidates: int) -> None:
         """Account a filtering step performed by a rewriter."""

@@ -1,0 +1,112 @@
+"""FaultInjector: seeded decisions, backoff accounting, deferred queue."""
+
+from repro import ChordNetwork
+from repro.faults import DelaySpec, FaultInjector, FaultPlan
+from repro.sim.messages import Message
+
+
+class _Recorder(Message):
+    type = "probe"
+
+
+def _ring_with_sink(n=8):
+    network = ChordNetwork.build(n)
+    received = []
+    for node in network.nodes:
+        node.register_handler(
+            "probe", lambda n_, m, log=received: log.append((n_.ident, m))
+        )
+    return network, received
+
+
+class TestSeededDecisions:
+    def test_same_seed_same_drop_sequence(self):
+        plan = FaultPlan(loss_probability=0.3, seed=99)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert [a.should_drop() for _ in range(50)] == [
+            b.should_drop() for _ in range(50)
+        ]
+
+    def test_zero_loss_never_draws(self):
+        injector = FaultInjector(FaultPlan())
+        state_before = injector.rng.getstate()
+        assert not any(injector.should_drop() for _ in range(10))
+        assert injector.rng.getstate() == state_before
+
+    def test_delay_sampling_respects_bounds(self):
+        plan = FaultPlan(
+            delay=DelaySpec(probability=1.0, minimum=0.5, maximum=2.0), seed=4
+        )
+        injector = FaultInjector(plan)
+        samples = [injector.sample_delay() for _ in range(100)]
+        assert all(0.5 <= s <= 2.0 for s in samples)
+
+    def test_noop_delay_samples_zero(self):
+        injector = FaultInjector(FaultPlan(loss_probability=0.5))
+        assert injector.sample_delay() == 0.0
+
+
+class TestBackoff:
+    def test_backoff_doubles_per_attempt(self):
+        injector = FaultInjector(FaultPlan(backoff_base=0.1))
+        assert injector.note_backoff(1) == 0.1
+        assert injector.note_backoff(2) == 0.2
+        assert injector.note_backoff(3) == 0.4
+        assert abs(injector.backoff_total - 0.7) < 1e-12
+
+
+class TestDeferredQueue:
+    def test_defer_then_flush_delivers_fifo(self):
+        network, received = _ring_with_sink()
+        injector = FaultInjector(FaultPlan())
+        target = network.nodes[0]
+        injector.defer(_Recorder(), target, 1.0)
+        injector.defer(_Recorder(), target, 2.0)
+        assert injector.pending_deliveries == 2
+        assert injector.flush_deferred() == 2
+        assert injector.pending_deliveries == 0
+        assert [ident for ident, _ in received] == [target.ident] * 2
+
+    def test_flush_limit(self):
+        network, received = _ring_with_sink()
+        injector = FaultInjector(FaultPlan())
+        for _ in range(5):
+            injector.defer(_Recorder(), network.nodes[0], 1.0)
+        assert injector.flush_deferred(limit=2) == 2
+        assert injector.pending_deliveries == 3
+
+    def test_crashed_target_redirects_to_successor(self):
+        network, received = _ring_with_sink()
+        target = network.nodes[2]
+        heir = target.successor
+        injector = FaultInjector(FaultPlan())
+        injector.defer(_Recorder(), target, 1.0)
+        network.fail(target)
+        injector.flush_deferred()
+        assert received == [(heir.ident, received[0][1])]
+        assert injector.messages_lost == 0
+
+    def test_message_lost_when_whole_successor_list_dead(self):
+        network, received = _ring_with_sink(3)
+        target = network.nodes[0]
+        injector = FaultInjector(FaultPlan())
+        injector.defer(_Recorder(), target, 1.0)
+        for node in list(network.nodes):
+            network.fail(node)
+        injector.flush_deferred()
+        assert received == []
+        assert injector.messages_lost == 1
+
+    def test_attached_simulator_gets_timed_events(self):
+        from repro.sim.simulator import Simulator
+
+        network, received = _ring_with_sink()
+        simulator = Simulator(network)
+        injector = FaultInjector(FaultPlan())
+        injector.attach(simulator)
+        injector.defer(_Recorder(), network.nodes[0], 5.0)
+        assert injector.pending_deliveries == 0  # queued as an event instead
+        simulator.run()
+        assert len(received) == 1
+        assert simulator.now == 5.0

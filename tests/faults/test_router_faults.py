@@ -1,0 +1,129 @@
+"""Router behaviour under fault injection: retries, fallback, no-op parity."""
+
+import pytest
+
+from repro import ChordNetwork, ContinuousQueryEngine, EngineConfig, Schema
+from repro.errors import DeliveryError
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.messages import Message
+
+
+class _Probe(Message):
+    type = "probe"
+
+
+def _sinked(network):
+    received = []
+    for node in network.nodes:
+        node.register_handler(
+            "probe", lambda n, m, log=received: log.append(n.ident)
+        )
+    return received
+
+
+class TestRetries:
+    def test_drops_are_retried_until_delivered(self):
+        plan = FaultPlan(loss_probability=0.4, max_attempts=50, seed=11)
+        injector = FaultInjector(plan)
+        network = ChordNetwork.build(16, injector=injector)
+        received = _sinked(network)
+        for _ in range(50):
+            network.router.send(network.nodes[0], _Probe(), 12345)
+        assert len(received) == 50  # every message eventually lands
+        stats = network.stats
+        assert stats.messages_dropped > 0
+        assert stats.retries == stats.messages_dropped
+        assert stats.dropped_by_type["probe"] == stats.messages_dropped
+        assert injector.backoff_total > 0.0
+
+    def test_send_direct_is_retried_too(self):
+        plan = FaultPlan(loss_probability=0.4, max_attempts=50, seed=5)
+        injector = FaultInjector(plan)
+        network = ChordNetwork.build(8, injector=injector)
+        received = _sinked(network)
+        source, target = network.nodes[0], network.nodes[3]
+        for _ in range(30):
+            network.router.send_direct(source, _Probe(), target)
+        assert received == [target.ident] * 30
+
+    def test_exhaustion_falls_back_to_successor_list(self):
+        # With p=0.6 and max_attempts=2 the primary target frequently
+        # exhausts; the successor list (drop-checked per entry) then
+        # carries most of those messages through.
+        plan = FaultPlan(loss_probability=0.6, max_attempts=2, seed=3)
+        injector = FaultInjector(plan)
+        network = ChordNetwork.build(16, injector=injector)
+        received = _sinked(network)
+        delivered = 0
+        fallback = 0
+        for attempt in range(200):
+            target, _ = network.router.find_successor(network.nodes[0], attempt * 97)
+            try:
+                recipient = network.router.send(network.nodes[0], _Probe(), attempt * 97)
+            except DeliveryError:
+                continue
+            delivered += 1
+            if recipient is not target:
+                fallback += 1
+        assert delivered == len(received)
+        assert fallback > 0  # some messages arrived via the successor list
+
+    def test_delivery_error_after_total_exhaustion(self):
+        plan = FaultPlan(loss_probability=0.95, max_attempts=1, seed=1)
+        injector = FaultInjector(plan)
+        network = ChordNetwork.build(4, injector=injector)
+        _sinked(network)
+        with pytest.raises(DeliveryError) as excinfo:
+            for _ in range(200):
+                network.router.send(network.nodes[0], _Probe(), 777)
+        assert excinfo.value.message_type == "probe"
+        assert excinfo.value.attempts >= 1
+
+    def test_crashed_target_served_by_successor_without_faults(self):
+        network = ChordNetwork.build(16)
+        received = _sinked(network)
+        target, _ = network.router.find_successor(network.nodes[0], 999)
+        heir = target.successor
+        network.fail(target)
+        recipient = network.router.send(network.nodes[0], _Probe(), 999)
+        assert recipient is heir
+        assert received == [heir.ident]
+
+
+class TestNoOpParity:
+    """An empty plan must leave traffic bit-identical to no injector."""
+
+    @staticmethod
+    def _run_workload(injector):
+        schema = Schema.from_dict({"R": ["A", "B"], "S": ["D", "E"]})
+        network = ChordNetwork.build(32, injector=injector)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm="dai-t", seed=7)
+        )
+        subscriber = network.nodes[0]
+        engine.subscribe(
+            subscriber, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E", schema
+        )
+        R, S = schema.relation("R"), schema.relation("S")
+        for index in range(40):
+            engine.clock.advance(1.0)
+            engine.publish(network.nodes[index % 32], R, {"A": index, "B": index % 5})
+            engine.publish(network.nodes[(index * 7) % 32], S, {"D": index, "E": index % 5})
+        return network.stats.snapshot()
+
+    def test_empty_plan_traffic_identical(self):
+        clean = self._run_workload(None)
+        noop = self._run_workload(FaultInjector(FaultPlan()))
+        assert noop.hops == clean.hops
+        assert noop.messages == clean.messages
+        assert noop.hops_by_type == clean.hops_by_type
+        assert noop.messages_by_type == clean.messages_by_type
+        assert noop.messages_dropped == 0
+        assert noop.retries == 0
+        assert noop.messages_delayed == 0
+
+    def test_noop_injector_rng_untouched(self):
+        injector = FaultInjector(FaultPlan())
+        state = injector.rng.getstate()
+        self._run_workload(injector)
+        assert injector.rng.getstate() == state

@@ -48,6 +48,13 @@ class TestExamples:
         output = capsys.readouterr().out
         assert "result sets match exactly despite churn" in output
 
+    def test_chaos_crash_recovery(self, capsys):
+        load_example("chaos_crash_recovery").main()
+        output = capsys.readouterr().out
+        assert "crashed" in output
+        assert "duplicate notifications: 0" in output
+        assert "exact convergence despite loss, delay and crashes" in output
+
     def test_algorithm_faceoff_shrunk(self, capsys):
         module = load_example("algorithm_faceoff")
         from repro.bench.configs import Scale
