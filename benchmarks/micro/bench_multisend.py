@@ -1,0 +1,51 @@
+"""Hot path 4: the recursive ``multisend`` clockwise sweep.
+
+Grouped rewritten queries travel in one recursive multisend per batch
+(Section 4.3.4); its cost model is measured here via ``multisend_cost``,
+which replays the exact sweep (sort clockwise, walk, hand off the
+remainder) without delivering messages.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.chord.network import ChordNetwork
+from repro.chord.routing import multisend_cost
+
+from _common import report
+
+
+def run(n_nodes: int = 256, batches: int = 500, batch_size: int = 16) -> list[dict]:
+    rng = random.Random(17)
+    network = ChordNetwork.build(n_nodes)
+    size = network.space.size
+    jobs = [
+        (
+            network.random_node(rng),
+            [rng.randrange(size) for _ in range(batch_size)],
+        )
+        for _ in range(batches)
+    ]
+    router = network.router
+
+    start = time.perf_counter()
+    hops = 0
+    for source, idents in jobs:
+        hops += multisend_cost(router, source, idents, recursive=True)
+    elapsed = time.perf_counter() - start
+    return [
+        report(
+            "routing.multisend_recursive",
+            elapsed / (batches * batch_size) * 1e9,
+            n_nodes=n_nodes,
+            batch_size=batch_size,
+            mean_hops_per_batch=round(hops / batches, 2),
+        )
+    ]
+
+
+if __name__ == "__main__":
+    for row in run():
+        print(row)

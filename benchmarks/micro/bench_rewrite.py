@@ -1,0 +1,62 @@
+"""Hot path 5: query rewriting and its allocation churn.
+
+``rewrite()`` runs once per (stored query, trigger tuple) pair — the
+hottest application-level call of the simulator — and allocates one
+``RewrittenQuery`` each time.  The second figure isolates simulator
+event/message construction, the per-hop allocation the ``__slots__``
+pass trimmed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.events import Event
+from repro.sim.messages import ALIndexMessage
+from repro.sql.parser import parse_query
+from repro.sql.query import LEFT, Subscriber, rewrite
+from repro.sql.schema import Relation
+from repro.sql.tuples import DataTuple
+
+from _common import best_of, report
+
+R = Relation("R", ("A", "B", "C"))
+SUB = Subscriber("bench", 1, "10.0.0.1")
+
+
+def run(loops: int = 30_000) -> list[dict]:
+    rng = random.Random(19)
+    query = parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.E").with_subscription(
+        "bench#0", 0.0, SUB
+    )
+    tuples = [
+        DataTuple(R, (rng.randrange(900), rng.randrange(900), rng.randrange(900)), float(i))
+        for i in range(512)
+    ]
+    n_tuples = len(tuples)
+    state = {"i": 0}
+
+    def one_rewrite():
+        i = state["i"]
+        state["i"] = (i + 1) % n_tuples
+        rewrite(query, LEFT, tuples[i])
+
+    def nothing():
+        pass
+
+    def one_event():
+        Event(5.0, 1, nothing, "tuple")
+
+    def one_message():
+        ALIndexMessage(tuple=tuples[0], index_attribute="B")
+
+    return [
+        report("sql.rewrite", best_of(one_rewrite, loops=loops)),
+        report("sim.event_alloc", best_of(one_event, loops=loops)),
+        report("sim.message_alloc", best_of(one_message, loops=loops)),
+    ]
+
+
+if __name__ == "__main__":
+    for row in run():
+        print(row)

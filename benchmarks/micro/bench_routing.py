@@ -1,0 +1,44 @@
+"""Hot path 3: Chord lookups (``find_successor`` finger walks).
+
+Every indexed key and every rewritten query pays at least one lookup;
+the walk itself is ``closest_preceding_finger`` scans over the finger
+table, the routine the inlined ring arithmetic in ``idspace``/``node``
+targets.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.chord.network import ChordNetwork
+
+from _common import report
+
+
+def run(n_nodes: int = 256, lookups: int = 5_000) -> list[dict]:
+    rng = random.Random(13)
+    network = ChordNetwork.build(n_nodes)
+    idents = [rng.randrange(network.space.size) for _ in range(lookups)]
+    sources = [network.random_node(rng) for _ in range(lookups)]
+    router = network.router
+
+    start = time.perf_counter()
+    hops = 0
+    for source, ident in zip(sources, idents):
+        _, cost = router.find_successor(source, ident)
+        hops += cost
+    elapsed = time.perf_counter() - start
+    return [
+        report(
+            "routing.find_successor",
+            elapsed / lookups * 1e9,
+            n_nodes=n_nodes,
+            mean_hops=round(hops / lookups, 2),
+        )
+    ]
+
+
+if __name__ == "__main__":
+    for row in run():
+        print(row)

@@ -68,6 +68,13 @@ def main() -> None:
         f"({stats.hops / max(1, stats.messages):.1f} hops/message)"
     )
 
+    from repro.perf import PERF
+
+    if PERF.enabled:  # REPRO_PERF=1: show what the hot paths recorded
+        print("\nperf counters:")
+        for name, value in PERF.snapshot()["counters"].items():
+            print(f"  {name}: {value}")
+
 
 if __name__ == "__main__":
     main()

@@ -13,7 +13,6 @@ pass the profile from ``REPRO_SCALE``.
 
 from __future__ import annotations
 
-import copy
 import functools
 import statistics
 from typing import Optional
@@ -22,6 +21,7 @@ from ..chord.network import ChordNetwork
 from ..chord.routing import multisend_cost
 from .configs import Scale, current_scale
 from .harness import run_standard, workload_for
+from .parallel import parallel_map
 from .report import ExperimentResult
 
 #: The four algorithms in presentation order.
@@ -285,36 +285,43 @@ def run_e5(scale: Optional[Scale] = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def _replication_sweep(scale: Scale, algorithm: str) -> list[dict]:
-    """Deep-copied rows of the cached replication sweep."""
-    return copy.deepcopy(_replication_sweep_cached(scale, algorithm))
+    """Fresh row copies of the cached (frozen) replication sweep."""
+    return [dict(row) for row in _replication_sweep_cached(scale, algorithm)]
+
+
+def _replication_point(spec: tuple[Scale, str, int]) -> dict:
+    """One replication-factor point (runs in a pool worker)."""
+    scale, algorithm, factor = spec
+    result = run_standard(
+        algorithm,
+        scale,
+        config_overrides={**_NEUTRAL, "replication_factor": factor},
+        workload=workload_for(scale),
+    )
+    load = result.load
+    al_filtering = load.attribute_level_filtering.values()
+    al_storage = load.attribute_level_storage.values()
+    return {
+        "algorithm": algorithm,
+        "replication": factor,
+        "max_rewriter_filtering": max(al_filtering, default=0),
+        "al_filtering_total": sum(al_filtering),
+        "max_rewriter_storage": max(al_storage, default=0),
+        "al_storage_total": sum(al_storage),
+        "rows_delivered": result.notifications_delivered,
+    }
 
 
 @functools.lru_cache(maxsize=8)
-def _replication_sweep_cached(scale: Scale, algorithm: str) -> list[dict]:
-    workload = workload_for(scale)
-    rows = []
-    for factor in (1, 2, 4, 8):
-        result = run_standard(
-            algorithm,
-            scale,
-            config_overrides={**_NEUTRAL, "replication_factor": factor},
-            workload=workload,
-        )
-        load = result.load
-        al_filtering = load.attribute_level_filtering.values()
-        al_storage = load.attribute_level_storage.values()
-        rows.append(
-            {
-                "algorithm": algorithm,
-                "replication": factor,
-                "max_rewriter_filtering": max(al_filtering, default=0),
-                "al_filtering_total": sum(al_filtering),
-                "max_rewriter_storage": max(al_storage, default=0),
-                "al_storage_total": sum(al_storage),
-                "rows_delivered": result.notifications_delivered,
-            }
-        )
-    return rows
+def _replication_sweep_cached(scale: Scale, algorithm: str) -> tuple[dict, ...]:
+    """The sweep's rows, frozen as a tuple owned by the cache.
+
+    Callers go through :func:`_replication_sweep`, which hands out
+    shallow copies (rows hold only scalars), replacing the old
+    ``copy.deepcopy`` of the whole list per call.
+    """
+    specs = [(scale, algorithm, factor) for factor in (1, 2, 4, 8)]
+    return tuple(parallel_map(_replication_point, specs))
 
 
 def run_e6(scale: Optional[Scale] = None) -> ExperimentResult:
@@ -373,40 +380,40 @@ def run_e7(scale: Optional[Scale] = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def _window_sweep(scale: Scale) -> list[dict]:
-    """Deep-copied rows of the cached window sweep."""
-    return copy.deepcopy(_window_sweep_cached(scale))
+    """Fresh row copies of the cached (frozen) window sweep."""
+    return [dict(row) for row in _window_sweep_cached(scale)]
+
+
+def _window_point(spec: tuple[Scale, str, int, Optional[float]]) -> dict:
+    """One (algorithm, |Q|, window) point (runs in a pool worker)."""
+    scale, algorithm, n_queries, window = spec
+    result = run_standard(
+        algorithm,
+        scale,
+        config_overrides={**_NEUTRAL, "window": window},
+        workload=workload_for(scale, n_queries=n_queries),
+    )
+    return {
+        "algorithm": algorithm,
+        "n_queries": n_queries,
+        "window": window if window is not None else "unbounded",
+        "evaluator_filtering": result.load.total_evaluator_filtering,
+        "evaluator_storage": result.load.total_evaluator_storage,
+        "rows_delivered": result.notifications_delivered,
+    }
 
 
 @functools.lru_cache(maxsize=8)
-def _window_sweep_cached(scale: Scale) -> list[dict]:
-    rows = []
+def _window_sweep_cached(scale: Scale) -> tuple[dict, ...]:
+    """Frozen window-sweep rows (see :func:`_replication_sweep_cached`)."""
     stream_span = float(scale.n_tuples)  # tuple_interval = 1.0
-    for algorithm in ("sai", "dai-t"):
-        for query_fraction in (0.33, 1.0):
-            n_queries = max(1, int(scale.n_queries * query_fraction))
-            for window in (
-                stream_span * 0.05,
-                stream_span * 0.25,
-                None,
-            ):
-                workload = workload_for(scale, n_queries=n_queries)
-                result = run_standard(
-                    algorithm,
-                    scale,
-                    config_overrides={**_NEUTRAL, "window": window},
-                    workload=workload,
-                )
-                rows.append(
-                    {
-                        "algorithm": algorithm,
-                        "n_queries": n_queries,
-                        "window": window if window is not None else "unbounded",
-                        "evaluator_filtering": result.load.total_evaluator_filtering,
-                        "evaluator_storage": result.load.total_evaluator_storage,
-                        "rows_delivered": result.notifications_delivered,
-                    }
-                )
-    return rows
+    specs = [
+        (scale, algorithm, max(1, int(scale.n_queries * query_fraction)), window)
+        for algorithm in ("sai", "dai-t")
+        for query_fraction in (0.33, 1.0)
+        for window in (stream_span * 0.05, stream_span * 0.25, None)
+    ]
+    return tuple(parallel_map(_window_point, specs))
 
 
 def run_e8(scale: Optional[Scale] = None) -> ExperimentResult:
@@ -564,44 +571,51 @@ def run_e11(scale: Optional[Scale] = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def _scaling_rows(scale: Scale, *, axis: str, factors, algorithms) -> list[dict]:
-    """Deep-copied rows of the cached scaling sweep."""
-    return copy.deepcopy(
-        _scaling_rows_cached(scale, axis, tuple(factors), tuple(algorithms))
+    """Fresh row copies of the cached (frozen) scaling sweep."""
+    rows = _scaling_rows_cached(scale, axis, tuple(factors), tuple(algorithms))
+    return [dict(row) for row in rows]
+
+
+def _scaling_point(spec: tuple[Scale, str, float, str]) -> dict:
+    """One (factor, algorithm) scaling point (runs in a pool worker)."""
+    scale, axis, factor, algorithm = spec
+    run_scale = scale.scaled(**{axis: factor})
+    result = run_standard(
+        algorithm,
+        run_scale,
+        config_overrides=_NEUTRAL,
+        workload=workload_for(run_scale),
     )
+    load = result.load
+    filtering = load.sorted_filtering()
+    return {
+        "factor": factor,
+        "n_nodes": run_scale.n_nodes,
+        "n_queries": run_scale.n_queries,
+        "n_tuples": run_scale.n_tuples,
+        "algorithm": algorithm,
+        "mean_filtering": float(filtering.mean()) if filtering.size else 0.0,
+        "max_filtering": int(filtering[0]) if filtering.size else 0,
+        "filtering_gini": load.filtering_gini(),
+        "top1pct_share": load.filtering_top_share(0.01),
+        "hottest_share": (
+            float(filtering[0]) / filtering.sum()
+            if filtering.size and filtering.sum() > 0
+            else 0.0
+        ),
+        "participation": load.filtering_participation(),
+    }
 
 
 @functools.lru_cache(maxsize=32)
-def _scaling_rows_cached(scale: Scale, axis: str, factors, algorithms) -> list[dict]:
-    rows = []
-    for factor in factors:
-        run_scale = scale.scaled(**{axis: factor})
-        workload = workload_for(run_scale)
-        for algorithm in algorithms:
-            result = run_standard(
-                algorithm, run_scale, config_overrides=_NEUTRAL, workload=workload
-            )
-            load = result.load
-            filtering = load.sorted_filtering()
-            rows.append(
-                {
-                    "factor": factor,
-                    "n_nodes": run_scale.n_nodes,
-                    "n_queries": run_scale.n_queries,
-                    "n_tuples": run_scale.n_tuples,
-                    "algorithm": algorithm,
-                    "mean_filtering": float(filtering.mean()) if filtering.size else 0.0,
-                    "max_filtering": int(filtering[0]) if filtering.size else 0,
-                    "filtering_gini": load.filtering_gini(),
-                    "top1pct_share": load.filtering_top_share(0.01),
-                    "hottest_share": (
-                        float(filtering[0]) / filtering.sum()
-                        if filtering.size and filtering.sum() > 0
-                        else 0.0
-                    ),
-                    "participation": load.filtering_participation(),
-                }
-            )
-    return rows
+def _scaling_rows_cached(scale: Scale, axis: str, factors, algorithms) -> tuple[dict, ...]:
+    """Frozen scaling-sweep rows (see :func:`_replication_sweep_cached`)."""
+    specs = [
+        (scale, axis, factor, algorithm)
+        for factor in factors
+        for algorithm in algorithms
+    ]
+    return tuple(parallel_map(_scaling_point, specs))
 
 
 def run_e12(scale: Optional[Scale] = None) -> ExperimentResult:

@@ -1,0 +1,290 @@
+"""Seeded macro-benchmark and the perf-regression gate.
+
+The headline benchmark is the **largest E14 network-size point** (the
+slowest single experiment point of the paper's scaling study): all four
+algorithms replay the same seeded workload over the largest ring of the
+E14 sweep.  It measures two very different things at once:
+
+* **wall-clock seconds** — what the hot-path optimizations are allowed
+  to change;
+* **simulated metrics** — hop counts, message counts (total and by
+  type) and the full notification answer sets (as a digest) — what they
+  are *not* allowed to change, ever.
+
+``python -m repro.bench.macro --output BENCH_current.json`` writes a
+baseline file; ``--compare BENCH_seed.json`` additionally gates the run
+against a committed baseline:
+
+* any difference in the simulated metrics is a hard failure (the
+  optimizations must be semantics-preserving);
+* a wall-clock total more than ``--threshold`` (default 25%) above the
+  baseline is a perf regression and fails the gate.
+
+Wall-clock numbers are machine-dependent; committed baselines record
+the host so a reviewer can judge comparability.  The simulated metrics
+are machine-independent and must match exactly on any host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..chord.hashing import hash_key_cache_clear
+from .configs import SCALES, Scale, current_scale
+from .harness import run_standard, workload_for
+
+#: Algorithms measured by the headline benchmark, in presentation order.
+HEADLINE_ALGORITHMS = ("sai", "dai-q", "dai-t", "dai-v")
+
+#: Default allowed wall-clock regression before the gate fails.
+DEFAULT_THRESHOLD = 0.25
+
+#: Name recorded in the JSON so unrelated baselines never compare.
+HEADLINE_NAME = "macro-e14-largest"
+
+
+def headline_scale(scale: Optional[Scale] = None) -> Scale:
+    """The largest network-size point of E14 (see ``run_e14``).
+
+    E14 derives its base profile as ``scaled(queries=0.5, tuples=0.5,
+    nodes=0.25)`` and sweeps node factors ``(1, 2, 4, 8)``; the headline
+    point is the factor-8 ring.
+    """
+    if scale is None:
+        scale = current_scale()
+    base = scale.scaled(queries=0.5, tuples=0.5, nodes=0.25)
+    return base.scaled(nodes=8.0)
+
+
+def notification_digest(engine) -> str:
+    """A stable SHA-1 digest of every query's delivered answer set.
+
+    Sorted per query and across queries, so delivery order (which may
+    legitimately vary with routing internals) never affects the digest
+    while any change to the *set* of answers does.
+    """
+    canonical = sorted(
+        (key, sorted((n.join_value_repr, repr(n.row)) for n in batch))
+        for key, batch in engine.delivered.items()
+    )
+    return hashlib.sha1(repr(canonical).encode("utf-8")).hexdigest()
+
+
+def _measure_algorithm(algorithm: str, run_scale: Scale, seed: int) -> dict:
+    """One seeded replay: wall-clock plus the invariant metrics."""
+    workload = workload_for(run_scale)
+    start = time.perf_counter()
+    result = run_standard(
+        algorithm,
+        run_scale,
+        config_overrides={"index_choice": "random"},
+        workload=workload,
+        seed=seed,
+    )
+    wall = time.perf_counter() - start
+    stream = result.stream_traffic
+    install = result.install_traffic
+    return {
+        "wall_seconds": wall,
+        "metrics": {
+            "hops": stream.hops + install.hops,
+            "messages": stream.messages + install.messages,
+            "stream_hops_by_type": dict(sorted(stream.hops_by_type.items())),
+            "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
+            "notifications_delivered": result.notifications_delivered,
+            "notification_digest": notification_digest(result.engine),
+        },
+    }
+
+
+def run_macro(
+    scale: Optional[Scale] = None,
+    *,
+    algorithms: Sequence[str] = HEADLINE_ALGORITHMS,
+    seed: int = 1,
+    repeats: int = 1,
+) -> dict:
+    """Run the headline macro-benchmark and return the report dict.
+
+    With ``repeats > 1`` the wall-clock of each algorithm is the best
+    (minimum) of the repeats — standard practice for noisy timers — but
+    the simulated metrics of every repeat must agree with the first or
+    the run itself is flagged non-deterministic.
+    """
+    if scale is None:
+        scale = current_scale()
+    run_scale = headline_scale(scale)
+    per_algorithm: dict[str, dict] = {}
+    for algorithm in algorithms:
+        # A cold cache per algorithm keeps timings comparable between a
+        # single full run and per-algorithm reruns.
+        hash_key_cache_clear()
+        best: Optional[dict] = None
+        for _ in range(max(1, repeats)):
+            sample = _measure_algorithm(algorithm, run_scale, seed)
+            if best is None:
+                best = sample
+            else:
+                if sample["metrics"] != best["metrics"]:
+                    raise RuntimeError(
+                        f"macro benchmark is non-deterministic for "
+                        f"{algorithm!r}: repeated runs disagree"
+                    )
+                best["wall_seconds"] = min(
+                    best["wall_seconds"], sample["wall_seconds"]
+                )
+            hash_key_cache_clear()
+        per_algorithm[algorithm] = best
+    total_wall = sum(entry["wall_seconds"] for entry in per_algorithm.values())
+    return {
+        "name": HEADLINE_NAME,
+        "scale": scale.name,
+        "point": {
+            "n_nodes": run_scale.n_nodes,
+            "n_queries": run_scale.n_queries,
+            "n_tuples": run_scale.n_tuples,
+            "domain_size": run_scale.domain_size,
+            "zipf_s": run_scale.zipf_s,
+        },
+        "seed": seed,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "wall_seconds": {
+            **{name: round(entry["wall_seconds"], 4) for name, entry in per_algorithm.items()},
+            "total": round(total_wall, 4),
+        },
+        "metrics": {name: entry["metrics"] for name, entry in per_algorithm.items()},
+    }
+
+
+def compare_reports(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Gate ``current`` against ``baseline``; returns failure messages.
+
+    An empty list means the gate is green.  Simulated metrics must be
+    *exactly* equal; total wall-clock may not exceed the baseline by
+    more than ``threshold`` (a fraction, e.g. ``0.25`` = +25%).
+    """
+    problems: list[str] = []
+    if current.get("name") != baseline.get("name"):
+        problems.append(
+            f"benchmark mismatch: {current.get('name')!r} vs "
+            f"{baseline.get('name')!r} — refusing to compare"
+        )
+        return problems
+    if current.get("point") != baseline.get("point") or current.get(
+        "seed"
+    ) != baseline.get("seed"):
+        problems.append(
+            "workload point/seed mismatch — baselines are only comparable "
+            "on the identical seeded workload"
+        )
+        return problems
+    for algorithm, baseline_metrics in baseline.get("metrics", {}).items():
+        current_metrics = current.get("metrics", {}).get(algorithm)
+        if current_metrics is None:
+            problems.append(f"algorithm {algorithm!r} missing from current run")
+            continue
+        if current_metrics != baseline_metrics:
+            for field in sorted(set(baseline_metrics) | set(current_metrics)):
+                if current_metrics.get(field) != baseline_metrics.get(field):
+                    problems.append(
+                        f"{algorithm}: simulated metric {field!r} changed: "
+                        f"{baseline_metrics.get(field)!r} -> "
+                        f"{current_metrics.get(field)!r}"
+                    )
+    baseline_wall = baseline.get("wall_seconds", {}).get("total")
+    current_wall = current.get("wall_seconds", {}).get("total")
+    if baseline_wall and current_wall:
+        limit = baseline_wall * (1.0 + threshold)
+        if current_wall > limit:
+            problems.append(
+                f"wall-clock regression: {current_wall:.3f}s > "
+                f"{baseline_wall:.3f}s * (1 + {threshold:.0%}) = {limit:.3f}s"
+            )
+    return problems
+
+
+def speedup_versus(current: dict, baseline: dict) -> Optional[float]:
+    """Baseline/current total wall ratio (>1 means current is faster)."""
+    baseline_wall = baseline.get("wall_seconds", {}).get("total")
+    current_wall = current.get("wall_seconds", {}).get("total")
+    if not baseline_wall or not current_wall:
+        return None
+    return baseline_wall / current_wall
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.macro",
+        description="Run the headline macro-benchmark (largest E14 point).",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALES),
+        help="scale profile (default: REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report to this path"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="gate against a committed baseline JSON (e.g. BENCH_seed.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional wall-clock regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timing repeats (min is kept)"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload/engine seed")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    report = run_macro(scale, seed=args.seed, repeats=args.repeats)
+    rendered = json.dumps(report, indent=2, sort_keys=False)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(rendered)
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare_reports(report, baseline, args.threshold)
+        ratio = speedup_versus(report, baseline)
+        if ratio is not None:
+            print(
+                f"wall-clock: {report['wall_seconds']['total']:.3f}s vs "
+                f"baseline {baseline['wall_seconds']['total']:.3f}s "
+                f"({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        if problems:
+            for problem in problems:
+                print(f"PERF GATE FAIL: {problem}", file=sys.stderr)
+            return 1
+        print("perf gate: OK (metrics identical, wall within threshold)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Process-parallel execution of independent benchmark sweep points.
+
+Every experiment sweep in :mod:`repro.bench.experiments` is a list of
+*points* — (scale, algorithm, parameter) combinations replayed through
+:func:`~repro.bench.harness.run_standard`.  Points never share state:
+each one rebuilds its workload deterministically from the same seed, so
+they can run in separate worker processes and still produce rows that
+are byte-identical to a serial run.
+
+:func:`parallel_map` is the single entry point.  It preserves input
+order, propagates worker exceptions, and degrades to a plain in-process
+loop when parallelism is disabled — the default, so tests and
+single-point runs never pay pool start-up costs.
+
+The worker count comes from the ``REPRO_BENCH_PROCS`` environment
+variable:
+
+``unset`` / ``"1"``
+    serial, in-process (the default);
+``"auto"`` / ``"0"``
+    one worker per CPU (``os.cpu_count()``);
+``N``
+    a pool of ``N`` worker processes.
+
+Workers are forked where the platform supports it (cheap, and usable
+from a REPL) and spawned otherwise; either way the mapped function and
+its items must be picklable (module-level functions over plain
+tuples/dataclasses).  Engines and workloads are **not** picklable —
+build them inside the worker and return plain row dicts.
+
+Note the macro benchmark (:mod:`repro.bench.macro`) stays serial on
+purpose: its product is wall-clock time, and concurrent workers would
+contend for cores and distort the measurement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+ENV_VAR = "REPRO_BENCH_PROCS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def configured_processes(n_items: int) -> int:
+    """Worker count for ``n_items`` independent points (≥1).
+
+    Reads ``REPRO_BENCH_PROCS`` (see module docstring) and never
+    returns more workers than there are points.
+    """
+    raw = os.environ.get(ENV_VAR, "").strip().lower()
+    if raw in ("", "1"):
+        return 1
+    if raw in ("0", "auto"):
+        procs = os.cpu_count() or 1
+    else:
+        try:
+            procs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_VAR} must be an integer or 'auto', got {raw!r}"
+            ) from None
+        if procs < 1:
+            procs = 1
+    return max(1, min(procs, n_items))
+
+
+def parallel_map(func: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    """``[func(item) for item in items]``, possibly across processes.
+
+    Order-preserving; the first worker exception is re-raised.  Falls
+    back to a serial loop when the configured worker count is 1 or
+    there is at most one item.
+    """
+    points: Sequence[T] = list(items)
+    procs = configured_processes(len(points))
+    if procs <= 1:
+        return [func(item) for item in points]
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    context = multiprocessing.get_context(method)
+    with ProcessPoolExecutor(max_workers=procs, mp_context=context) as pool:
+        return list(pool.map(func, points))

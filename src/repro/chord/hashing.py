@@ -11,6 +11,9 @@ never collide by accident.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
+
+from ..perf import PERF
 
 #: Separator used when concatenating key parts, mirroring the paper's
 #: ``+`` operator on strings but unambiguous.
@@ -24,6 +27,36 @@ SHA1_BITS = 160
 #: simulated scales (thousands of nodes, millions of items).
 DEFAULT_M = 32
 
+#: Bound of the SHA-1 memo below.  Zipf-skewed workloads hash the same
+#: handful of ``relation|attribute|value`` keys over and over; 2**16
+#: distinct keys comfortably covers the working set of the largest
+#: simulated runs while keeping worst-case memory small (a few MB).
+HASH_CACHE_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=HASH_CACHE_SIZE)
+def hash_key(key: str) -> int:
+    """The full 160-bit SHA-1 digest of ``key``, as an integer.
+
+    Memoized: every routing identifier in the system is derived from
+    this digest, and under the paper's skewed workloads the same keys
+    recur constantly (hot attribute values, per-relation keys, lease
+    renewals).  The digest is cached *unreduced* so one entry serves
+    every identifier-space size ``m`` — reducing modulo ``2**m`` is a
+    cheap mask applied by the caller.
+    """
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest(), "big")
+
+
+def hash_key_cache_info():
+    """Cache statistics of the SHA-1 memo (for tests and perf reports)."""
+    return hash_key.cache_info()
+
+
+def hash_key_cache_clear() -> None:
+    """Drop all memoized digests (cold-cache benchmarking, tests)."""
+    hash_key.cache_clear()
+
 
 def make_key(*parts: object) -> str:
     """Build a routing key from its components.
@@ -35,7 +68,9 @@ def make_key(*parts: object) -> str:
     >>> make_key("R", "B", 7)
     'R|B|7'
     """
-    return KEY_SEPARATOR.join(str(part) for part in parts)
+    # ``map`` over a genexpr: this runs once per indexed key, several
+    # hundred thousand times per experiment.
+    return KEY_SEPARATOR.join(map(str, parts))
 
 
 class ConsistentHash:
@@ -46,21 +81,33 @@ class ConsistentHash:
     network so that all participants agree on key placement.
     """
 
-    __slots__ = ("m", "modulus")
+    __slots__ = ("m", "modulus", "_parts_cache")
 
     def __init__(self, m: int = DEFAULT_M):
         if not 8 <= m <= SHA1_BITS:
             raise ValueError(f"m must be in [8, {SHA1_BITS}], got {m}")
         self.m = m
         self.modulus = 1 << m
+        #: Identifier memo keyed by the parts tuple: skips even the key
+        #: string concatenation for recurring ``(R, A, v)`` lookups.
+        self._parts_cache: dict[tuple, int] = {}
 
     def __call__(self, key: str) -> int:
-        digest = hashlib.sha1(key.encode("utf-8")).digest()
-        return int.from_bytes(digest, "big") % self.modulus
+        return hash_key(key) % self.modulus
 
     def hash_parts(self, *parts: object) -> int:
         """Hash the concatenation of ``parts`` (``Hash(R + A + v)``)."""
-        return self(make_key(*parts))
+        cache = self._parts_cache
+        ident = cache.get(parts)
+        if ident is None:
+            ident = hash_key(make_key(*parts)) % self.modulus
+            if len(cache) < HASH_CACHE_SIZE:
+                cache[parts] = ident
+            if PERF.enabled:
+                PERF.count("hash.parts_miss")
+        elif PERF.enabled:
+            PERF.count("hash.parts_hit")
+        return ident
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ConsistentHash(m={self.m})"

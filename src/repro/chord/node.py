@@ -128,9 +128,16 @@ class ChordNode:
         predecessor pointer (fresh node) it conservatively owns nothing
         unless it is alone on the ring.
         """
-        if self.predecessor is None:
+        predecessor = self.predecessor
+        if predecessor is None:
             return self.successor is self
-        return self.space.in_half_open(ident, self.predecessor.ident, self.ident)
+        # Inlined ``space.in_half_open(ident, predecessor, self)`` —
+        # ownership is checked once per routing hop.
+        low = predecessor.ident
+        if low == self.ident:
+            return True
+        size = self.space.size
+        return 0 < (ident - low) % size <= (self.ident - low) % size
 
     def finger_start(self, j: int) -> int:
         """Identifier ``id(n) + 2**j`` targeted by finger ``j`` (0-based)."""
@@ -139,25 +146,49 @@ class ChordNode:
     def closest_preceding_finger(self, ident: int) -> "ChordNode":
         """The closest live finger strictly between ``self`` and ``ident``.
 
-        Scans the finger table from the farthest entry down, also
-        considering the successor list; returns ``self`` when no better
-        candidate exists (the caller then forwards to the successor).
+        Scans the finger table, also considering the successor list;
+        returns ``self`` when no better candidate exists (the caller
+        then forwards to the successor).
+
+        This is the single hottest function of the whole simulator (one
+        call per routing hop), so the ring arithmetic is inlined: a
+        candidate lies in the open interval ``(self, ident)`` iff its
+        clockwise offset ``d`` from ``self`` satisfies ``0 < d < span``
+        where ``span`` is the offset of ``ident`` (``span == size`` for
+        the full-ring case ``ident == self.ident``), and ``d`` is also
+        the distance being maximized.  Finger tables repeat the same
+        node over long stretches, so consecutive duplicates are skipped
+        — with the strict ``>`` tie-break a repeat can never win.
         """
+        self_ident = self.ident
+        size = self.space.size
+        span = (ident - self_ident) % size
+        if span == 0:
+            span = size
         best = self
         best_distance = 0
-        for candidate in self._routing_candidates():
-            if candidate is None or not candidate.alive:
+        previous = None
+        for candidate in self.fingers:
+            if candidate is None or candidate is previous:
                 continue
-            if self.space.in_open(candidate.ident, self.ident, ident):
-                distance = self.space.distance(self.ident, candidate.ident)
-                if distance > best_distance:
-                    best = candidate
-                    best_distance = distance
+            previous = candidate
+            if not candidate.alive:
+                continue
+            distance = (candidate.ident - self_ident) % size
+            if best_distance < distance < span:
+                best = candidate
+                best_distance = distance
+        for candidate in self.successor_list:
+            if candidate is previous:
+                continue
+            previous = candidate
+            if not candidate.alive:
+                continue
+            distance = (candidate.ident - self_ident) % size
+            if best_distance < distance < span:
+                best = candidate
+                best_distance = distance
         return best
-
-    def _routing_candidates(self):
-        yield from self.fingers
-        yield from self.successor_list
 
     # ------------------------------------------------------------------
     # Application message delivery

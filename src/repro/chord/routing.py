@@ -74,6 +74,8 @@ class Router:
         the lookup to the farthest finger that does not overshoot
         ``ident``; the node responsible for ``ident`` keeps it.
         """
+        size = self.space.size
+        max_hops = self.max_hops
         current = start
         hops = 0
         while True:
@@ -82,17 +84,22 @@ class Router:
             successor = current.successor
             if successor is current:
                 return current, hops
-            if self.space.in_half_open(ident, current.ident, successor.ident):
+            # Inlined ``space.in_half_open(ident, current, successor)``;
+            # this test runs once per hop of every routed message.
+            low = current.ident
+            if low == successor.ident or 0 < (ident - low) % size <= (
+                successor.ident - low
+            ) % size:
                 return successor, hops + 1
             next_hop = current.closest_preceding_finger(ident)
             if next_hop is current or not next_hop.alive:
                 next_hop = successor
             current = next_hop
             hops += 1
-            if hops > self.max_hops:
+            if hops > max_hops:
                 raise RoutingError(
                     f"lookup for {ident} from node {start.ident} exceeded "
-                    f"{self.max_hops} hops; ring state is inconsistent"
+                    f"{max_hops} hops; ring state is inconsistent"
                 )
 
     def lookup(self, start: ChordNode, ident: int, *, account: str = "lookup") -> ChordNode:
@@ -280,19 +287,23 @@ class Router:
         pending: dict[int, list[int]] = {}
         for position, ident in enumerate(idents):
             pending.setdefault(ident, []).append(position)
-        queue = list(order)
         targets: list[ChordNode | None] = [None] * len(idents)
 
+        # ``cursor`` walks the clockwise-sorted list instead of popping
+        # the head each round (``list.pop(0)`` is O(n) per identifier).
+        cursor = 0
+        n_order = len(order)
         current = source
         total_hops = 0
-        while queue:
-            head = queue[0]
+        while cursor < n_order:
+            head = order[cursor]
             responsible, hops = self._walk(current, head)
             total_hops += hops
             # The responsible node strips every identifier it owns; they
             # are consecutive at the front of the clockwise-sorted list.
-            while queue and responsible.owns(queue[0]):
-                ident = queue.pop(0)
+            while cursor < n_order and responsible.owns(order[cursor]):
+                ident = order[cursor]
+                cursor += 1
                 for position in pending[ident]:
                     if targets[position] is None:
                         targets[position] = self._deliver(
@@ -332,13 +343,19 @@ class Router:
         which is exactly what a recursive (message-carrying) traversal
         costs.
         """
+        size = self.space.size
+        max_hops = self.max_hops
         current = start
         hops = 0
         while not current.owns(ident):
             successor = current.successor
             if successor is current:
                 break
-            if self.space.in_half_open(ident, current.ident, successor.ident):
+            # Inlined ``space.in_half_open`` — see ``find_successor``.
+            low = current.ident
+            if low == successor.ident or 0 < (ident - low) % size <= (
+                successor.ident - low
+            ) % size:
                 current = successor
                 hops += 1
                 break
@@ -347,9 +364,9 @@ class Router:
                 next_hop = successor
             current = next_hop
             hops += 1
-            if hops > self.max_hops:
+            if hops > max_hops:
                 raise RoutingError(
-                    f"multisend walk toward {ident} exceeded {self.max_hops} hops"
+                    f"multisend walk toward {ident} exceeded {max_hops} hops"
                 )
         return current, hops
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
-from ..chord.hashing import make_key
 from ..chord.node import ChordNode
 from ..errors import QueryError
 from ..sim.messages import (
@@ -33,7 +32,7 @@ from ..sim.messages import (
 from ..sim.stats import NodeLoad
 from ..sql.query import JoinQuery, RewrittenQuery, rewrite
 from ..sql.tuples import DataTuple, ProjectedTuple
-from ..sql.expr import attributes_of, canonical_value
+from ..sql.expr import canonical_value
 from .index_choice import ArrivalStats
 from .jfrt import JoinFingersRoutingTable
 from .notifications import Notification
@@ -139,11 +138,7 @@ def index_side_needed_attributes(query: JoinQuery, label: str) -> tuple[str, ...
     queries of the *opposite* side, which need this side's select
     attributes, join-expression attributes and filter attributes.
     """
-    side = query.side(label)
-    needed = {ref.attribute for ref in query.select if ref.relation == side.relation}
-    needed.update(ref.attribute for ref in attributes_of(side.expr))
-    needed.update(f.attribute for f in side.filters)
-    return tuple(sorted(needed))
+    return query.side_needed_attributes[label]
 
 
 class Algorithm:
@@ -267,8 +262,8 @@ class Algorithm:
                 ALIndexMessage(tuple=tup, index_attribute=attribute, refresh=refresh)
             )
             if self.indexes_tuples_at_value_level:
-                v_ident = engine.network.hash(
-                    make_key(relation.name, attribute, canonical_value(tup.value(attribute)))
+                v_ident = engine.network.hash.hash_parts(
+                    relation.name, attribute, canonical_value(tup.value(attribute))
                 )
                 idents.append(v_ident)
                 messages.append(
@@ -330,28 +325,37 @@ class Algorithm:
         sent_keys: list[str] = []
         seen_keys: set[str] = set()
         projection: Optional[ProjectedTuple] = None
+        pub_time = tup.pub_time
+        remembers = self.remembers_sent_keys(engine)
+        already_sent = group.sent_rewritten_keys
+        wants_projection = self.wants_projection
+        evaluator_ident = self.evaluator_ident
+        batches_get = batches.get
         for entry in group.entries:
             query = entry.query
             side = query.side(entry.index_label)
-            if tup.pub_time < query.insertion_time:
+            if pub_time < query.insertion_time:
                 continue
             if not side.accepts(tup):
                 continue
             rewritten = rewrite(query, entry.index_label, tup)
-            if rewritten.key in seen_keys:
+            key = rewritten.key
+            if key in seen_keys:
                 continue
-            seen_keys.add(rewritten.key)
-            if not force_resend and self._skip_already_sent(engine, group, rewritten):
+            seen_keys.add(key)
+            if remembers and not force_resend and key in already_sent:
                 continue
-            ident = self.evaluator_ident(engine, rewritten)
-            rewritten_list, projection_list = batches.setdefault(ident, ([], []))
-            rewritten_list.append(rewritten)
-            if self.wants_projection:
+            ident = evaluator_ident(engine, rewritten)
+            batch = batches_get(ident)
+            if batch is None:
+                batch = batches[ident] = ([], [])
+            batch[0].append(rewritten)
+            if wants_projection:
                 if projection is None:
                     projection = self._group_projection(group, tup)
-                projection_list.append(projection)
-            sent_keys.append(rewritten.key)
-        return sent_keys if self.remembers_sent_keys(engine) else []
+                batch[1].append(projection)
+            sent_keys.append(key)
+        return sent_keys if remembers else []
 
     @staticmethod
     def _group_projection(group: QueryGroup, tup: DataTuple) -> ProjectedTuple:

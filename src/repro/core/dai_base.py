@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..chord.hashing import make_key
 from ..chord.node import ChordNode
 from ..sql.query import LEFT, RIGHT, JoinQuery, RewrittenQuery
 from .base import Algorithm
@@ -35,6 +34,6 @@ class DoubleAttributeIndex(Algorithm):
         self, engine: "ContinuousQueryEngine", rewritten: RewrittenQuery
     ) -> int:
         """T1 placement, identical to SAI: ``Hash(DisR + DisA + valDA)``."""
-        return engine.network.hash(
-            make_key(rewritten.relation, rewritten.dis_attribute, rewritten.dis_value)
+        return engine.network.hash.hash_parts(
+            rewritten.relation, rewritten.dis_attribute, rewritten.dis_value
         )

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..chord.hashing import make_key
 from ..sql.expr import canonical_value
 from ..chord.node import ChordNode
 from ..sim.messages import JoinMessage, VLIndexMessage
@@ -56,11 +55,9 @@ class DAIQuery(DoubleAttributeIndex):
         state.load.messages_processed += 1
         if msg.refresh and state.vltt.contains(msg.tuple, msg.index_attribute):
             return
-        ident = engine.network.hash(
-            make_key(
-                msg.tuple.relation.name,
-                msg.index_attribute,
-                canonical_value(msg.tuple.value(msg.index_attribute)),
-            )
+        ident = engine.network.hash.hash_parts(
+            msg.tuple.relation.name,
+            msg.index_attribute,
+            canonical_value(msg.tuple.value(msg.index_attribute)),
         )
         state.vltt.add(StoredTuple(msg.tuple, msg.index_attribute, ident))

@@ -45,8 +45,12 @@ class DAITuple(DoubleAttributeIndex):
         stored tuples do not exist under DAI-T."""
         state = engine.state(node)
         state.load.messages_processed += 1
+        # Batches are grouped per evaluator identifier (§4.3.5), so every
+        # rewritten query in the message shares the same ident.
+        ident = None
         for rewritten in msg.rewritten:
-            ident = self.evaluator_ident(engine, rewritten)
+            if ident is None:
+                ident = self.evaluator_ident(engine, rewritten)
             state.vlqt.add(rewritten, ident)
 
     def on_vl_index(

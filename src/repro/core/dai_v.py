@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..chord.hashing import make_key
 from ..chord.node import ChordNode
 from ..errors import QueryError
 from ..sim.messages import JoinMessage, VLIndexMessage
@@ -50,10 +49,12 @@ class DAIValue(DoubleAttributeIndex):
     ) -> int:
         """``Hash(str(value))`` — or ``Hash(Key(q) + value)`` when keyed."""
         if engine.config.daiv_keyed:
-            return engine.network.hash(
-                make_key(rewritten.original_key, rewritten.required_value)
+            return engine.network.hash.hash_parts(
+                rewritten.original_key, rewritten.required_value
             )
-        return engine.network.hash(str(rewritten.required_value))
+        # ``make_key(v) == str(v)`` for a single part, so the memoized
+        # parts lookup computes the same identifier.
+        return engine.network.hash.hash_parts(rewritten.required_value)
 
     def on_join(
         self, engine: "ContinuousQueryEngine", node: ChordNode, msg: JoinMessage
@@ -69,6 +70,9 @@ class DAIValue(DoubleAttributeIndex):
         if len(msg.projections) != len(msg.rewritten):
             raise QueryError("DAI-V join message lost its projections")
         notifications = []
+        # Batches are grouped per evaluator identifier (§4.3.5), so every
+        # rewritten query in the message shares the same ident.
+        ident = None
         for rewritten, projection in zip(msg.rewritten, msg.projections):
             candidates = state.projections.candidates(
                 rewritten.group_signature, rewritten.relation, rewritten.required_value
@@ -90,7 +94,8 @@ class DAIValue(DoubleAttributeIndex):
                 )
                 if notification is not None:
                     notifications.append(notification)
-            ident = self.evaluator_ident(engine, rewritten)
+            if ident is None:
+                ident = self.evaluator_ident(engine, rewritten)
             state.projections.add(
                 StoredProjection(
                     projection=projection,

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..chord.hashing import make_key
 from ..sql.expr import canonical_value
 from ..chord.node import ChordNode
 from ..sim.messages import JoinMessage, VLIndexMessage
@@ -50,8 +49,8 @@ class SingleAttributeIndex(Algorithm):
         self, engine: "ContinuousQueryEngine", rewritten: RewrittenQuery
     ) -> int:
         """``VIndex = Hash(DisR + DisA + valDA)`` (Section 4.3.2)."""
-        return engine.network.hash(
-            make_key(rewritten.relation, rewritten.dis_attribute, rewritten.dis_value)
+        return engine.network.hash.hash_parts(
+            rewritten.relation, rewritten.dis_attribute, rewritten.dis_value
         )
 
     def on_join(
@@ -68,8 +67,12 @@ class SingleAttributeIndex(Algorithm):
         state.load.messages_processed += 1
         window = engine.config.window
         notifications = []
+        # Batches are grouped per evaluator identifier (§4.3.5), so every
+        # rewritten query in the message shares the same ident.
+        ident = None
         for rewritten in msg.rewritten:
-            ident = self.evaluator_ident(engine, rewritten)
+            if ident is None:
+                ident = self.evaluator_ident(engine, rewritten)
             previous = state.vlqt.peek(rewritten)
             was_expired = (
                 previous is not None
@@ -99,12 +102,10 @@ class SingleAttributeIndex(Algorithm):
             engine, state, msg.tuple, msg.index_attribute
         )
         if not (msg.refresh and state.vltt.contains(msg.tuple, msg.index_attribute)):
-            ident = engine.network.hash(
-                make_key(
-                    msg.tuple.relation.name,
-                    msg.index_attribute,
-                    canonical_value(msg.tuple.value(msg.index_attribute)),
-                )
+            ident = engine.network.hash.hash_parts(
+                msg.tuple.relation.name,
+                msg.index_attribute,
+                canonical_value(msg.tuple.value(msg.index_attribute)),
             )
             state.vltt.add(StoredTuple(msg.tuple, msg.index_attribute, ident))
         engine.deliver_notifications(node, notifications)

@@ -10,13 +10,28 @@ candidates actually examined is what the filtering-load metric counts.
 Every stored item remembers the routing identifier it was addressed to,
 so responsibility handoff on node join/leave is a filter over the
 tables (Chord transfers "all data related to Id(n)").
+
+Sliding-window eviction (``evict_older_than``) is driven by per-table
+lazy min-heaps of ``(time, seq, locator...)`` records instead of
+rescanning every bucket each window round: eviction pops only records
+older than the cutoff, validates each against the live entry (records
+go stale when an entry was handed off, replaced, or had its time
+refreshed) and re-arms refreshed entries with their current time.  The
+set of entries evicted for a given cutoff is exactly the full-scan set —
+every live entry older than the cutoff has at least one heap record at
+or below its current time — only the work is proportional to the number
+of expirations, not the table size.  ``pop_matching`` (responsibility
+handoff) stays a scan: it filters by routing identifier, which no
+time-ordered structure helps with, and runs only on churn events.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
+from ..perf import PERF
 from ..sql.query import JoinQuery, RewrittenQuery
 from ..sql.tuples import DataTuple, ProjectedTuple
 
@@ -25,7 +40,7 @@ from ..sql.tuples import DataTuple, ProjectedTuple
 # Attribute level: queries waiting at rewriters
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class StoredQuery:
     """A query resident at a rewriter, with its indexing side."""
 
@@ -147,7 +162,7 @@ class AttributeLevelQueryTable:
 # Value level: rewritten queries at evaluators
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class StoredRewritten:
     """A rewritten query at an evaluator, with its trigger-time memory.
 
@@ -171,6 +186,14 @@ class ValueLevelQueryTable:
     def __init__(self):
         self._buckets: dict[tuple[str, str], dict[Any, dict[str, StoredRewritten]]] = {}
         self._count = 0
+        #: Lazy eviction queue: ``(trigger_time, seq, level1, value, entry)``
+        #: records; see the module docstring.
+        self._evict_heap: list[tuple[float, int, tuple[str, str], Any, StoredRewritten]] = []
+        self._evict_seq = 0
+
+    def _arm(self, time: float, level1, value, entry: StoredRewritten) -> None:
+        self._evict_seq += 1
+        heapq.heappush(self._evict_heap, (time, self._evict_seq, level1, value, entry))
 
     def add(self, rewritten: RewrittenQuery, routing_ident: int) -> tuple[StoredRewritten, bool]:
         """Store (or refresh) a rewritten query; returns (entry, is_new).
@@ -190,6 +213,7 @@ class ValueLevelQueryTable:
         entry = StoredRewritten(rewritten, routing_ident, rewritten.trigger_pub_time)
         by_key[rewritten.key] = entry
         self._count += 1
+        self._arm(entry.latest_trigger_time, level1, rewritten.dis_value, entry)
         return entry, True
 
     def peek(self, rewritten: RewrittenQuery) -> Optional[StoredRewritten]:
@@ -219,21 +243,35 @@ class ValueLevelQueryTable:
 
     def evict_older_than(self, cutoff: float) -> int:
         """Drop entries whose latest trigger is before ``cutoff``
-        (sliding-window semantics); returns evictions."""
+        (sliding-window semantics); returns evictions.
+
+        Pops the lazy heap instead of scanning every bucket: a record
+        whose entry is gone or replaced is discarded; one whose entry
+        was refreshed past the cutoff is re-armed at its current time;
+        only records that still describe an expired live entry evict.
+        """
+        heap = self._evict_heap
+        buckets = self._buckets
         evicted = 0
-        for level1 in list(self._buckets):
-            level2 = self._buckets[level1]
-            for value in list(level2):
-                by_key = level2[value]
-                for key in list(by_key):
-                    if by_key[key].latest_trigger_time < cutoff:
-                        del by_key[key]
-                        evicted += 1
-                if not by_key:
-                    del level2[value]
-            if not level2:
-                del self._buckets[level1]
+        while heap and heap[0][0] < cutoff:
+            _, _, level1, value, entry = heapq.heappop(heap)
+            level2 = buckets.get(level1)
+            by_key = level2.get(value) if level2 is not None else None
+            if by_key is None or by_key.get(entry.rewritten.key) is not entry:
+                continue  # stale record: entry was handed off or replaced
+            current_time = entry.latest_trigger_time
+            if current_time >= cutoff:
+                self._arm(current_time, level1, value, entry)
+                continue
+            del by_key[entry.rewritten.key]
+            evicted += 1
+            if not by_key:
+                del level2[value]
+                if not level2:
+                    del buckets[level1]
         self._count -= evicted
+        if PERF.enabled:
+            PERF.count("vlqt.evicted", evicted)
         return evicted
 
     def pop_matching(self, should_move: Callable[[int], bool]) -> list[StoredRewritten]:
@@ -265,7 +303,7 @@ class ValueLevelQueryTable:
 # Value level: tuples at evaluators
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class StoredTuple:
     """A tuple at an evaluator, remembered under its index attribute."""
 
@@ -280,12 +318,21 @@ class ValueLevelTupleTable:
     def __init__(self):
         self._buckets: dict[tuple[str, str], dict[Any, list[StoredTuple]]] = {}
         self._count = 0
+        #: Lazy eviction queue; tuple publication times never change, so
+        #: records only go stale when an entry is handed off on churn.
+        self._evict_heap: list[tuple[float, int, tuple[str, str], Any, StoredTuple]] = []
+        self._evict_seq = 0
 
     def add(self, stored: StoredTuple) -> None:
         level1 = (stored.tuple.relation.name, stored.index_attribute)
         value = stored.tuple.value(stored.index_attribute)
         self._buckets.setdefault(level1, {}).setdefault(value, []).append(stored)
         self._count += 1
+        self._evict_seq += 1
+        heapq.heappush(
+            self._evict_heap,
+            (stored.tuple.pub_time, self._evict_seq, level1, value, stored),
+        )
 
     def candidates(self, relation: str, attribute: str, value: Any) -> list[StoredTuple]:
         """Tuples a rewritten query over ``relation.attribute = value``
@@ -306,19 +353,27 @@ class ValueLevelTupleTable:
         )
 
     def evict_older_than(self, cutoff: float) -> int:
+        heap = self._evict_heap
+        buckets = self._buckets
         evicted = 0
-        for level1 in list(self._buckets):
-            level2 = self._buckets[level1]
-            for value in list(level2):
-                kept = [s for s in level2[value] if s.tuple.pub_time >= cutoff]
-                evicted += len(level2[value]) - len(kept)
-                if kept:
-                    level2[value] = kept
-                else:
-                    del level2[value]
-            if not level2:
-                del self._buckets[level1]
+        while heap and heap[0][0] < cutoff:
+            _, _, level1, value, stored = heapq.heappop(heap)
+            level2 = buckets.get(level1)
+            bucket = level2.get(value) if level2 is not None else None
+            if not bucket:
+                continue  # stale record: bucket drained by handoff
+            for index, candidate in enumerate(bucket):
+                if candidate is stored:
+                    del bucket[index]
+                    evicted += 1
+                    if not bucket:
+                        del level2[value]
+                        if not level2:
+                            del buckets[level1]
+                    break
         self._count -= evicted
+        if PERF.enabled:
+            PERF.count("vltt.evicted", evicted)
         return evicted
 
     def pop_matching(self, should_move: Callable[[int], bool]) -> list[StoredTuple]:
@@ -354,7 +409,7 @@ class ValueLevelTupleTable:
 # DAI-V: projected tuples at value-indexed evaluators (Section 4.5)
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class StoredProjection:
     """A projected trigger tuple stored by a DAI-V evaluator."""
 
@@ -375,6 +430,15 @@ class ProjectionStore:
     def __init__(self):
         self._buckets: dict[tuple[str, str], dict[Any, list[StoredProjection]]] = {}
         self._count = 0
+        #: Lazy eviction queue.  A duplicate ``add`` can replace an
+        #: entry's projection with a *newer* publication time, so
+        #: eviction re-arms records whose entry has outlived them.
+        self._evict_heap: list[tuple[float, int, tuple[str, str], Any, StoredProjection]] = []
+        self._evict_seq = 0
+
+    def _arm(self, time: float, level1, value, stored: StoredProjection) -> None:
+        self._evict_seq += 1
+        heapq.heappush(self._evict_heap, (time, self._evict_seq, level1, value, stored))
 
     def add(self, stored: StoredProjection) -> bool:
         """Store a projection; duplicates (same content) are collapsed."""
@@ -387,6 +451,7 @@ class ProjectionStore:
                 return False
         bucket.append(stored)
         self._count += 1
+        self._arm(stored.projection.pub_time, level1, stored.value, stored)
         return True
 
     def candidates(
@@ -398,19 +463,33 @@ class ProjectionStore:
         return list(level2.get(value, ()))
 
     def evict_older_than(self, cutoff: float) -> int:
+        heap = self._evict_heap
+        buckets = self._buckets
         evicted = 0
-        for level1 in list(self._buckets):
-            level2 = self._buckets[level1]
-            for value in list(level2):
-                kept = [s for s in level2[value] if s.projection.pub_time >= cutoff]
-                evicted += len(level2[value]) - len(kept)
-                if kept:
-                    level2[value] = kept
-                else:
-                    del level2[value]
-            if not level2:
-                del self._buckets[level1]
+        while heap and heap[0][0] < cutoff:
+            _, _, level1, value, stored = heapq.heappop(heap)
+            level2 = buckets.get(level1)
+            bucket = level2.get(value) if level2 is not None else None
+            if not bucket:
+                continue
+            for index, candidate in enumerate(bucket):
+                if candidate is stored:
+                    current_time = stored.projection.pub_time
+                    if current_time >= cutoff:
+                        # Replaced by a newer duplicate since this
+                        # record was armed: keep it, re-arm.
+                        self._arm(current_time, level1, value, stored)
+                        break
+                    del bucket[index]
+                    evicted += 1
+                    if not bucket:
+                        del level2[value]
+                        if not level2:
+                            del buckets[level1]
+                    break
         self._count -= evicted
+        if PERF.enabled:
+            PERF.count("projections.evicted", evicted)
         return evicted
 
     def pop_matching(self, should_move: Callable[[int], bool]) -> list[StoredProjection]:

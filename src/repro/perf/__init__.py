@@ -1,0 +1,144 @@
+"""Opt-in performance instrumentation: named counters and wall timers.
+
+The simulator's hot paths (hashing, routing, table maintenance, query
+rewriting) are exactly the places where ``print``-style ad-hoc probing
+distorts what it measures.  This module gives them a shared, very cheap
+alternative:
+
+* ``PERF.count("vlqt.evicted", n)`` — bump a named counter;
+* ``with PERF.timer("evict"): ...`` — accumulate wall time and calls;
+* ``PERF.snapshot()`` — a plain dict for reports / JSON.
+
+Instrumentation is **disabled by default** and enabled with the
+``REPRO_PERF=1`` environment variable (read at import; flip at runtime
+with :meth:`PerfRegistry.enable`).  Disabled, the cost at an
+instrumented site is one attribute load and a branch
+(``if PERF.enabled:``) — no allocation, no dict access, no timestamps —
+so permanent probes in hot loops are fine.
+
+The registry is deliberately process-local.  Benchmark workers (see
+:mod:`repro.bench.parallel`) each own their registry; aggregate in the
+parent from the row payloads, not from globals.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterator
+
+ENV_VAR = "REPRO_PERF"
+
+__all__ = ["PERF", "PerfRegistry", "ENV_VAR"]
+
+
+class _Timer:
+    """Context manager accumulating wall time into one timer slot."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "PerfRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        timers = self._registry._timers
+        slot = timers.get(self._name)
+        if slot is None:
+            timers[self._name] = [elapsed, 1]
+        else:
+            slot[0] += elapsed
+            slot[1] += 1
+
+
+class _NullTimer:
+    """No-op stand-in handed out while instrumentation is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class PerfRegistry:
+    """A bag of named counters and timers (see module docstring)."""
+
+    __slots__ = ("enabled", "_counters", "_timers")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, list] = {}  # name -> [seconds, calls]
+
+    # -- control ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded values (the enabled flag is untouched)."""
+        self._counters.clear()
+        self._timers.clear()
+
+    # -- recording ----------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + n
+
+    def timer(self, name: str):
+        """Context manager timing its body into slot ``name``.
+
+        Call sites that run *very* hot should still guard with
+        ``if PERF.enabled:`` to skip the timestamp syscalls entirely.
+        """
+        if not self.enabled:
+            return _NULL_TIMER
+        return _Timer(self, name)
+
+    # -- reading ------------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        slot = self._timers.get(name)
+        return slot[0] if slot else 0.0
+
+    def calls(self, name: str) -> int:
+        slot = self._timers.get(name)
+        return slot[1] if slot else 0
+
+    def snapshot(self) -> dict:
+        """Everything recorded so far, as JSON-ready plain data."""
+        return {
+            "enabled": self.enabled,
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {
+                name: {"seconds": slot[0], "calls": slot[1]}
+                for name, slot in sorted(self._timers.items())
+            },
+        }
+
+    def names(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._timers
+
+
+#: The process-wide registry every instrumented site shares.
+PERF = PerfRegistry(os.environ.get(ENV_VAR, "").strip() not in ("", "0"))

@@ -18,9 +18,14 @@ from typing import Callable
 Action = Callable[[], None]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
-    """A scheduled action; ordering is (time, sequence-number)."""
+    """A scheduled action; ordering is (time, sequence-number).
+
+    ``slots=True``: million-event runs allocate one of these per
+    scheduled action, and slotted instances are both smaller and faster
+    to compare on the heap.
+    """
 
     time: float
     sequence: int

@@ -12,7 +12,9 @@ The paper names five application messages:
 * notifications delivered back to subscribers (Section 4.6).
 
 Messages are plain immutable records; the routing layer only looks at
-``type`` for accounting.
+``type`` for accounting.  All message classes are slotted
+(``slots=True``): large runs allocate hundreds of thousands of them,
+and slots cut both per-instance memory and attribute-access time.
 """
 
 from __future__ import annotations
@@ -25,14 +27,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sql.tuples import DataTuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class for all overlay messages."""
 
     type: ClassVar[str] = "message"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryIndexMessage(Message):
     """``query(q, Id(n), IP(n))`` — store ``q`` at a rewriter node.
 
@@ -52,7 +54,7 @@ class QueryIndexMessage(Message):
     refresh: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ALIndexMessage(Message):
     """``al-index(t, A)`` — tuple arriving at the attribute level."""
 
@@ -65,7 +67,7 @@ class ALIndexMessage(Message):
     refresh: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VLIndexMessage(Message):
     """``vl-index(t, A)`` — tuple arriving at the value level."""
 
@@ -77,7 +79,7 @@ class VLIndexMessage(Message):
     refresh: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinMessage(Message):
     """``join(q'_1 .. q'_k)`` — rewritten queries bound for one evaluator.
 
@@ -94,7 +96,7 @@ class JoinMessage(Message):
     projections: tuple[Any, ...] = field(default_factory=tuple)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NotificationMessage(Message):
     """A batch of notifications for one subscriber (Section 4.6)."""
 
@@ -103,7 +105,7 @@ class NotificationMessage(Message):
     subscriber_ident: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnsubscribeMessage(Message):
     """Remove every copy of a query from a rewriter's ALQT."""
 
@@ -111,7 +113,7 @@ class UnsubscribeMessage(Message):
     query_key: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RateProbeMessage(Message):
     """Ask a (candidate) rewriter for its observed tuple-arrival rate.
 

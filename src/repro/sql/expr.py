@@ -28,7 +28,7 @@ _OPERATORS: dict[str, Callable[[Any, Any], Any]] = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Const:
     """A literal constant (number or string)."""
 
@@ -38,7 +38,7 @@ class Const:
         return repr(self.value) if isinstance(self.value, str) else str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttrRef:
     """A qualified attribute reference ``R.A``."""
 
@@ -49,7 +49,7 @@ class AttrRef:
         return f"{self.relation}.{self.attribute}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp:
     """An arithmetic/string operation ``left op right``."""
 
@@ -65,7 +65,7 @@ class BinaryOp:
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Negate:
     """Unary minus."""
 

@@ -17,9 +17,11 @@ of Chapter 4:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Any, Optional
 
 from ..errors import QueryError
+from ..perf import PERF
 from .expr import (
     AttrRef,
     Const,
@@ -40,7 +42,7 @@ LEFT = "left"
 RIGHT = "right"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalFilter:
     """A conjoined equality predicate over one relation (``A.Surname = 'Smith'``)."""
 
@@ -58,7 +60,16 @@ class LocalFilter:
 
 @dataclass(frozen=True)
 class QuerySide:
-    """One side of the join: a relation, its join expression, filters."""
+    """One side of the join: a relation, its join expression, filters.
+
+    The classification helpers (``join_attributes``, ``linear_form`` and
+    friends) are pure functions of the immutable fields but are consulted
+    on *every* query trigger — hundreds of thousands of times per run —
+    so they are ``cached_property``s.  ``cached_property`` stores into
+    ``__dict__`` directly, which sidesteps the frozen ``__setattr__``,
+    and dataclass equality/hash only look at declared fields, so the
+    caches never leak into comparisons.
+    """
 
     relation: str
     expr: Expression
@@ -77,18 +88,23 @@ class QuerySide:
                 f"{self.relation}"
             )
 
-    @property
+    @cached_property
     def join_attributes(self) -> tuple[str, ...]:
         """Attributes of this relation appearing in the join expression,
         sorted for determinism."""
         return tuple(sorted(ref.attribute for ref in attributes_of(self.expr)))
 
-    @property
+    @cached_property
     def single_attribute(self) -> Optional[str]:
         """The attribute name if the expression is a bare attribute."""
         return self.expr.attribute if is_single_attribute(self.expr) else None
 
-    @property
+    @cached_property
+    def _linear_form(self):
+        """Memoized ``linear_form(self.expr)`` — the expression never changes."""
+        return linear_form(self.expr)
+
+    @cached_property
     def invertible_attribute(self) -> Optional[str]:
         """The attribute if the side is linear in exactly one attribute.
 
@@ -97,7 +113,7 @@ class QuerySide:
         for the attribute value that satisfies the join condition.
         Bare attributes are the ``a = 1, b = 0`` special case.
         """
-        form = linear_form(self.expr)
+        form = self._linear_form
         return form[0].attribute if form is not None else None
 
     def solve_for_attribute(self, target_value: Any) -> Any:
@@ -105,7 +121,7 @@ class QuerySide:
 
         Only valid when :attr:`invertible_attribute` is not None.
         """
-        form = linear_form(self.expr)
+        form = self._linear_form
         if form is None:
             raise QueryError(
                 f"side expression {self.expr} is not invertible"
@@ -123,15 +139,21 @@ class QuerySide:
 
     def accepts(self, tuple_like) -> bool:
         """True when a tuple satisfies every local filter of this side."""
+        if not self.filters:  # the common case; skip the genexpr
+            return True
         return all(f.holds(tuple_like) for f in self.filters)
 
-    def signature(self) -> str:
-        """Canonical text used for query grouping (Section 4.3.5)."""
+    @cached_property
+    def _signature(self) -> str:
         filters = ",".join(str(f) for f in sorted(self.filters, key=str))
         return f"{self.relation}:{canonical_text(self.expr)}[{filters}]"
 
+    def signature(self) -> str:
+        """Canonical text used for query grouping (Section 4.3.5)."""
+        return self._signature
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Subscriber:
     """Identity of the node that posed a query (Section 4.6).
 
@@ -232,13 +254,39 @@ class JoinQuery:
     # ------------------------------------------------------------------
     # Grouping
     # ------------------------------------------------------------------
+    @cached_property
+    def _rewrite_plans(self) -> dict:
+        """Per-side :class:`RewritePlan`, built on first trigger."""
+        return {LEFT: RewritePlan(self, LEFT), RIGHT: RewritePlan(self, RIGHT)}
+
+    @cached_property
+    def side_needed_attributes(self) -> dict[str, tuple[str, ...]]:
+        """Per side: the attributes a DAI-V projection of that side must
+        carry — select attributes of the side's relation, its
+        join-expression attributes and its filter attributes (sorted).
+        """
+        result = {}
+        for label in (LEFT, RIGHT):
+            side = self.side(label)
+            needed = {
+                ref.attribute for ref in self.select if ref.relation == side.relation
+            }
+            needed.update(ref.attribute for ref in attributes_of(side.expr))
+            needed.update(f.attribute for f in side.filters)
+            result[label] = tuple(sorted(needed))
+        return result
+
+    @cached_property
+    def _join_signature(self) -> str:
+        return f"{self.left.signature()}={self.right.signature()}"
+
     def join_signature(self) -> str:
         """Canonical identity of the join condition, for grouping.
 
         "All queries that have equivalent join condition are grouped
         together at each rewriter and evaluator node" (Section 4.3.5).
         """
-        return f"{self.left.signature()}={self.right.signature()}"
+        return self._join_signature
 
     # ------------------------------------------------------------------
     # Subscription binding
@@ -266,14 +314,14 @@ class JoinQuery:
 # Select items of rewritten queries
 # ----------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BoundValue:
     """A select item already replaced by a value from the trigger tuple."""
 
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PendingAttr:
     """A select item still to be read from a matching dis-side tuple."""
 
@@ -283,9 +331,17 @@ class PendingAttr:
 SelectItem = BoundValue | PendingAttr
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class RewrittenQuery:
     """A select-project query produced by rewriting a join query.
+
+    One is allocated per (query, trigger tuple) pair — the hottest
+    allocation of the simulator — so the class is slotted and skips the
+    frozen machinery (a frozen dataclass pays ``object.__setattr__`` per
+    field on *every* construction, ~8x slower).  Instances are immutable
+    by convention: nothing mutates one after ``rewrite()`` returns, and
+    identity/equality is always taken on ``key`` (Section 4.3.3), never
+    on field-wise comparison.
 
     Example from Section 4.3.2: triggering
     ``SELECT R.A, S.B FROM R, S WHERE R.C = S.C`` with ``S(3, 4, 7)``
@@ -360,61 +416,172 @@ class RewrittenQuery:
         return tuple(sorted(needed))
 
 
+class RewritePlan:
+    """The trigger-independent skeleton of a rewrite (one per query side).
+
+    ``rewrite()`` runs once per (query entry, trigger tuple) pair — by
+    far the hottest application-level call of the simulator — yet most
+    of what it computes depends only on the query: which side is the
+    index side, whether the dis side is invertible (and its linear
+    coefficients), which select items bind from the trigger versus stay
+    pending.  A plan precomputes all of that once per query instance
+    (built lazily via :attr:`JoinQuery._rewrite_plans`), so the per-trigger
+    work shrinks to value lookups and one string join.
+    """
+
+    __slots__ = (
+        "index_relation",
+        "index_side",
+        "index_expr",
+        "index_attr",
+        "dis_side",
+        "dis_attribute",
+        "dis_identity",
+        "dis_a",
+        "dis_b",
+        "select_spec",
+        "query_key",
+        "group_signature",
+        "subscriber",
+        "insertion_time",
+        "dis_relation",
+        "dis_expr",
+        "dis_filters",
+        "pos_relation",
+        "index_pos",
+        "select_pos_spec",
+    )
+
+    def __init__(self, query: "JoinQuery", index_label: str):
+        index_side = query.side(index_label)
+        dis_side = query.side(query.other_label(index_label))
+        self.index_relation = index_side.relation
+        self.index_side = index_side
+        self.index_expr = index_side.expr
+        self.query_key = query.key
+        self.group_signature = query.join_signature()
+        self.subscriber = query.subscriber
+        self.insertion_time = query.insertion_time
+        self.dis_relation = dis_side.relation
+        self.dis_expr = dis_side.expr
+        self.dis_filters = dis_side.filters
+        #: Bare-attribute fast path: substitution folds straight to the
+        #: trigger's value of this attribute.
+        self.index_attr = (
+            self.index_expr.attribute if type(self.index_expr) is AttrRef else None
+        )
+        self.dis_side = dis_side
+        self.dis_attribute = dis_side.invertible_attribute
+        form = dis_side._linear_form
+        if form is not None:
+            _, self.dis_a, self.dis_b = form
+            self.dis_identity = self.dis_a == 1 and self.dis_b == 0
+        else:
+            self.dis_a = self.dis_b = None
+            self.dis_identity = False
+        #: Per select item: the trigger attribute to bind, or the shared
+        #: (immutable) ``PendingAttr`` to reuse verbatim.
+        self.select_spec: tuple[tuple[Optional[str], Optional[PendingAttr]], ...] = tuple(
+            (ref.attribute, None)
+            if ref.relation == index_side.relation
+            else (None, PendingAttr(ref.attribute))
+            for ref in query.select
+        )
+        #: Positional variants of :attr:`index_attr`/:attr:`select_spec`,
+        #: bound lazily to the first trigger's ``Relation`` object so
+        #: ``rewrite()`` can index ``trigger.values`` directly instead of
+        #: going through ``DataTuple.value`` name lookups.
+        self.pos_relation = None
+        self.index_pos: Optional[int] = None
+        self.select_pos_spec: tuple[tuple[Optional[int], Optional[PendingAttr]], ...] = ()
+
+    def bind_positions(self, relation) -> None:
+        """Resolve attribute names to positions in ``relation``.
+
+        Called once per (plan, Relation object); re-bound if a trigger
+        arrives with a distinct schema object of the same name.
+        """
+        positions = relation._positions
+        if self.index_attr is not None:
+            self.index_pos = positions[self.index_attr]
+        self.select_pos_spec = tuple(
+            (None, pending) if attribute is None else (positions[attribute], None)
+            for attribute, pending in self.select_spec
+        )
+        self.pos_relation = relation
+
+
 def rewrite(query: JoinQuery, index_label: str, trigger) -> RewrittenQuery:
     """Rewrite ``query`` triggered by tuple ``trigger`` on side ``index_label``.
 
     Replaces every attribute of the index relation in the Select and
     Where clauses with the trigger tuple's values (Section 4.3.2),
     computes the value the remaining side must take, and forms the
-    rewritten-query key.
+    rewritten-query key.  The query-invariant parts come from the
+    memoized :class:`RewritePlan`.
     """
-    index_side = query.side(index_label)
-    dis_label = query.other_label(index_label)
-    dis_side = query.side(dis_label)
+    if PERF.enabled:
+        PERF.count("sql.rewrites")
+    plan = query._rewrite_plans[index_label]
 
-    if trigger.relation.name != index_side.relation:
+    relation = trigger.relation
+    if relation.name != plan.index_relation:
         raise QueryError(
-            f"tuple of {trigger.relation.name} cannot trigger side "
-            f"{index_label} ({index_side.relation}) of query {query.key!r}"
+            f"tuple of {relation.name} cannot trigger side "
+            f"{index_label} ({plan.index_relation}) of query {query.key!r}"
         )
+    if plan.pos_relation is not relation:
+        plan.bind_positions(relation)
 
-    substituted = substitute(index_side.expr, index_side.relation, trigger)
-    if not isinstance(substituted, Const):
-        raise QueryError(
-            f"index-side expression {index_side.expr} did not fold to a "
-            f"constant for tuple {trigger}"
-        )
-    required_value = canonical_value(substituted.value)
-    dis_attribute = dis_side.invertible_attribute
-    dis_value = (
-        dis_side.solve_for_attribute(required_value)
-        if dis_attribute is not None
-        else None
-    )
+    trigger_values = trigger.values
+    if plan.index_pos is not None:
+        value = trigger_values[plan.index_pos]
+        required_value = value if type(value) is int else canonical_value(value)
+    else:
+        substituted = substitute(plan.index_expr, plan.index_relation, trigger)
+        if not isinstance(substituted, Const):
+            raise QueryError(
+                f"index-side expression {plan.index_expr} did not fold to a "
+                f"constant for tuple {trigger}"
+            )
+        required_value = canonical_value(substituted.value)
+
+    if plan.dis_attribute is None:
+        dis_value = None
+    elif plan.dis_identity:
+        # Identity linear form: already canonical (also covers strings).
+        dis_value = required_value
+    else:
+        try:
+            dis_value = canonical_value((required_value - plan.dis_b) / plan.dis_a)
+        except TypeError as exc:
+            raise QueryError(
+                f"cannot solve {plan.dis_side.expr} = {required_value!r}: {exc}"
+            ) from exc
 
     select_items: list[SelectItem] = []
-    bound_values: list[Any] = []
-    for ref in query.select:
-        if ref.relation == index_side.relation:
-            value = trigger.value(ref.attribute)
-            select_items.append(BoundValue(value))
-            bound_values.append(value)
+    key_parts = [plan.query_key]
+    for bind_position, pending in plan.select_pos_spec:
+        if bind_position is None:
+            select_items.append(pending)
         else:
-            select_items.append(PendingAttr(ref.attribute))
+            value = trigger_values[bind_position]
+            select_items.append(BoundValue(value))
+            key_parts.append(str(value))
+    key_parts.append(str(required_value))
 
-    key_parts = [query.key, *[str(v) for v in bound_values], str(required_value)]
     return RewrittenQuery(
         key="+".join(key_parts),
-        original_key=query.key,
-        group_signature=query.join_signature(),
-        subscriber=query.subscriber,
-        insertion_time=query.insertion_time,
-        relation=dis_side.relation,
-        expr=dis_side.expr,
+        original_key=plan.query_key,
+        group_signature=plan.group_signature,
+        subscriber=plan.subscriber,
+        insertion_time=plan.insertion_time,
+        relation=plan.dis_relation,
+        expr=plan.dis_expr,
         required_value=required_value,
-        dis_attribute=dis_attribute,
+        dis_attribute=plan.dis_attribute,
         dis_value=dis_value,
-        filters=dis_side.filters,
+        filters=plan.dis_filters,
         select=tuple(select_items),
         trigger_pub_time=trigger.pub_time,
     )

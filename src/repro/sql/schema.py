@@ -9,6 +9,7 @@ names; a :class:`Schema` is a set of relations known to an application.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Iterator, Mapping
 
 from ..errors import SchemaError
@@ -48,11 +49,17 @@ class Relation:
     def has_attribute(self, attribute: str) -> bool:
         return attribute in self.attributes
 
+    @cached_property
+    def _positions(self) -> dict[str, int]:
+        """Attribute→position map; ``tuple.index`` scans per lookup and
+        tuple value access is one of the simulator's hottest calls."""
+        return {attribute: i for i, attribute in enumerate(self.attributes)}
+
     def index_of(self, attribute: str) -> int:
         """Position of ``attribute`` (SchemaError if absent)."""
         try:
-            return self.attributes.index(attribute)
-        except ValueError:
+            return self._positions[attribute]
+        except KeyError:
             raise SchemaError(
                 f"relation {self.name} has no attribute {attribute!r}"
             ) from None

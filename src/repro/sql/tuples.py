@@ -15,7 +15,7 @@ from ..errors import SchemaError
 from .schema import Relation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataTuple:
     """An immutable tuple of a relation.
 
@@ -81,7 +81,7 @@ class DataTuple:
         return f"{self.relation.name}({rendered})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProjectedTuple:
     """A tuple projected onto a subset of its attributes."""
 

@@ -1,0 +1,107 @@
+"""Tests for the macro-benchmark perf-regression gate.
+
+``compare_reports`` is what CI runs against the committed
+``BENCH_seed.json``: simulated metrics must match *exactly* (the
+bit-identical invariant of the optimization pass), wall-clock may drift
+up to the threshold.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.bench.macro import compare_reports, headline_scale, speedup_versus
+from repro.bench.configs import Scale
+
+
+def _report(total: float = 10.0, hops: int = 100) -> dict:
+    return {
+        "name": "macro-e14-largest",
+        "scale": "default",
+        "point": {"n_nodes": 512, "n_queries": 200, "n_tuples": 350},
+        "seed": 1,
+        "wall_seconds": {"sai": total / 2, "dai-t": total / 2, "total": total},
+        "metrics": {
+            "sai": {"hops": hops, "messages": 50, "notification_digest": "abc"},
+            "dai-t": {"hops": hops + 1, "messages": 51, "notification_digest": "abc"},
+        },
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        assert compare_reports(_report(), _report()) == []
+
+    def test_faster_run_passes(self):
+        assert compare_reports(_report(total=3.0), _report(total=10.0)) == []
+
+    def test_wall_within_threshold_passes(self):
+        assert compare_reports(_report(total=12.4), _report(total=10.0), 0.25) == []
+
+    def test_wall_regression_fails(self):
+        problems = compare_reports(_report(total=12.6), _report(total=10.0), 0.25)
+        assert len(problems) == 1
+        assert "wall-clock regression" in problems[0]
+
+    def test_metric_drift_fails_even_when_faster(self):
+        problems = compare_reports(
+            _report(total=1.0, hops=99), _report(total=10.0, hops=100)
+        )
+        assert any("hops" in p for p in problems)
+
+    def test_missing_algorithm_fails(self):
+        current = _report()
+        del current["metrics"]["dai-t"]
+        problems = compare_reports(current, _report())
+        assert any("dai-t" in p for p in problems)
+
+    def test_digest_change_names_the_field(self):
+        current = _report()
+        current["metrics"]["sai"]["notification_digest"] = "zzz"
+        problems = compare_reports(current, _report())
+        assert any("notification_digest" in p for p in problems)
+
+    def test_different_benchmark_refuses_to_compare(self):
+        current = _report()
+        current["name"] = "other-benchmark"
+        problems = compare_reports(current, _report())
+        assert len(problems) == 1
+        assert "refusing" in problems[0]
+
+    def test_different_point_or_seed_refuses_to_compare(self):
+        for mutate in (
+            lambda r: r["point"].update(n_nodes=1024),
+            lambda r: r.update(seed=2),
+        ):
+            current = _report()
+            mutate(current)
+            problems = compare_reports(current, _report())
+            assert len(problems) == 1
+            assert "mismatch" in problems[0]
+
+    def test_baseline_untouched(self):
+        baseline = _report()
+        snapshot = copy.deepcopy(baseline)
+        compare_reports(_report(total=99.0, hops=1), baseline)
+        assert baseline == snapshot
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup_versus(_report(total=2.0), _report(total=10.0)) == 5.0
+
+    def test_missing_wall_returns_none(self):
+        broken = _report()
+        del broken["wall_seconds"]
+        assert speedup_versus(broken, _report()) is None
+        assert speedup_versus(_report(), broken) is None
+
+
+class TestHeadlineScale:
+    def test_headline_is_the_largest_e14_point(self):
+        base = Scale("default", n_nodes=256, n_queries=400, n_tuples=700, domain_size=900)
+        point = headline_scale(base)
+        # E14: base = scaled(q=0.5, t=0.5, n=0.25), then nodes ×8.
+        assert point.n_nodes == 512
+        assert point.n_queries == 200
+        assert point.n_tuples == 350

@@ -1,0 +1,99 @@
+"""Tests for the process-parallel sweep runner.
+
+The load-bearing property is at the bottom: a real experiment sweep
+produces byte-identical rows serial and parallel, because every point
+rebuilds its workload deterministically from the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.configs import Scale
+from repro.bench.parallel import ENV_VAR, configured_processes, parallel_map
+
+TINY = Scale("tiny", n_nodes=24, n_queries=12, n_tuples=40, domain_size=30)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+class TestConfiguredProcesses:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert configured_processes(100) == 1
+
+    def test_explicit_one_is_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        assert configured_processes(100) == 1
+
+    @pytest.mark.parametrize("raw", ["auto", "0"])
+    def test_auto_uses_cpus_capped_by_items(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_VAR, raw)
+        assert configured_processes(2) <= 2
+        assert configured_processes(10_000) >= 1
+
+    def test_explicit_count_capped_by_items(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "6")
+        assert configured_processes(3) == 3
+        assert configured_processes(100) == 6
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "many")
+        with pytest.raises(ValueError):
+            configured_processes(4)
+
+    def test_negative_clamped_to_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "-3")
+        assert configured_processes(4) == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert parallel_map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_path_preserves_order(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "2")
+        assert parallel_map(_square, range(12)) == [x * x for x in range(12)]
+
+    def test_empty_items(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "4")
+        assert parallel_map(_square, []) == []
+
+    def test_worker_exception_propagates(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "2")
+        with pytest.raises(ValueError):
+            parallel_map(_boom, range(4))
+
+
+class TestSweepEquivalence:
+    def test_scaling_rows_serial_equals_parallel(self, monkeypatch):
+        kwargs = dict(axis="nodes", factors=(1.0,), algorithms=("sai", "dai-q"))
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        experiments._scaling_rows_cached.cache_clear()
+        serial = experiments._scaling_rows(TINY, **kwargs)
+
+        monkeypatch.setenv(ENV_VAR, "2")
+        experiments._scaling_rows_cached.cache_clear()
+        parallel = experiments._scaling_rows(TINY, **kwargs)
+        experiments._scaling_rows_cached.cache_clear()
+
+        assert serial == parallel
+
+    def test_handed_out_rows_do_not_poison_the_cache(self):
+        kwargs = dict(axis="nodes", factors=(1.0,), algorithms=("sai",))
+        experiments._scaling_rows_cached.cache_clear()
+        first = experiments._scaling_rows(TINY, **kwargs)
+        first[0]["algorithm"] = "tampered"
+        del first[0]["factor"]
+        again = experiments._scaling_rows(TINY, **kwargs)
+        experiments._scaling_rows_cached.cache_clear()
+        assert again[0]["algorithm"] == "sai"
+        assert "factor" in again[0]

@@ -1,0 +1,83 @@
+"""Regression tests for the memoized hashing layers.
+
+The optimization pass memoizes ``hash_key`` (full SHA-1 digests) and
+``ConsistentHash.hash_parts`` (per-instance parts→identifier).  These
+tests pin the two guarantees the rest of the system relies on: the
+memoized values are *byte-identical* to a fresh SHA-1 computation, and
+both caches stay bounded no matter how many distinct keys flow through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.chord import hashing
+from repro.chord.hashing import (
+    ConsistentHash,
+    hash_key,
+    hash_key_cache_clear,
+    hash_key_cache_info,
+    make_key,
+)
+
+KEYS = ["R|B|7", "Documents|AuthorId|42", "", "unicode-κλειδί", "R|B|8"] + [
+    f"R|A|{i}" for i in range(50)
+]
+
+
+def _fresh_sha1(key: str) -> int:
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest(), "big")
+
+
+def test_hash_key_matches_fresh_sha1_on_hit_and_miss():
+    hash_key_cache_clear()
+    for key in KEYS:
+        assert hash_key(key) == _fresh_sha1(key)  # miss path
+    for key in KEYS:
+        assert hash_key(key) == _fresh_sha1(key)  # hit path
+    info = hash_key_cache_info()
+    assert info.hits >= len(KEYS)
+
+
+def test_hash_key_cache_is_bounded():
+    assert hash_key_cache_info().maxsize == hashing.HASH_CACHE_SIZE
+
+
+def test_hash_parts_equals_hash_of_make_key():
+    h = ConsistentHash(m=32)
+    cases = [("R", "B", 7), ("R", "B", "7"), (13,), ("", ""), ("R", "A", -1.5)]
+    for parts in cases:
+        expected = hash_key(make_key(*parts)) % h.modulus
+        assert h.hash_parts(*parts) == expected  # miss
+        assert h.hash_parts(*parts) == expected  # hit
+
+
+def test_hash_parts_single_part_equals_str_hash():
+    # DAI-V relies on make_key(v) == str(v) for one part, so the keyed
+    # and non-keyed evaluator identifiers stay on the same ring.
+    h = ConsistentHash(m=32)
+    assert h.hash_parts(1234) == h(str(1234))
+
+
+def test_hash_parts_cache_is_bounded(monkeypatch):
+    monkeypatch.setattr(hashing, "HASH_CACHE_SIZE", 4)
+    h = ConsistentHash(m=32)
+    values = [h.hash_parts("R", "B", i) for i in range(20)]
+    assert len(h._parts_cache) <= 4
+    # Overflowing keys are still computed correctly, just not stored.
+    assert values == [hash_key(make_key("R", "B", i)) % h.modulus for i in range(20)]
+
+
+def test_distinct_instances_do_not_share_parts_caches():
+    a, b = ConsistentHash(m=16), ConsistentHash(m=32)
+    ident_a = a.hash_parts("R", "B", 7)
+    ident_b = b.hash_parts("R", "B", 7)
+    assert ident_a == ident_b % a.modulus
+    assert a._parts_cache is not b._parts_cache
+
+
+def test_hash_parts_separator_prevents_ambiguity():
+    h = ConsistentHash(m=32)
+    assert h.hash_parts("RA", "B") != h.hash_parts("R", "AB")
