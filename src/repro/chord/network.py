@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from ..errors import NetworkError
 from ..sim.stats import TrafficStats
+from ..transport import Transport
 from .hashing import DEFAULT_M, ConsistentHash
 from .idspace import IdentifierSpace
 from .node import DEFAULT_SUCCESSOR_LIST_SIZE, ChordNode
@@ -55,10 +56,26 @@ class ChordNetwork:
         self.space = IdentifierSpace(m)
         self.stats = stats if stats is not None else TrafficStats()
         self.router = Router(self.space, self.stats, injector=injector)
+        #: Active message transport (the Section 2.3 API).  Defaults to
+        #: the in-process router; :meth:`use_transport` swaps in a live
+        #: one (e.g. :class:`repro.net.peer.SocketTransport`) without
+        #: the engine or algorithms noticing.
+        self.transport: Transport = self.router
         self.successor_list_size = successor_list_size
         self._nodes: dict[int, ChordNode] = {}
         self._sorted_idents: list[int] = []
         self.transfer_hook: Optional[TransferHook] = None
+
+    def use_transport(self, transport: Transport) -> Transport:
+        """Install ``transport`` as the active message substrate.
+
+        Returns the previous transport so callers can restore it.  The
+        router keeps serving routed lookups (ring maintenance, joins)
+        either way; only application message delivery moves.
+        """
+        previous = self.transport
+        self.transport = transport
+        return previous
 
     @property
     def injector(self) -> Optional["FaultInjector"]:

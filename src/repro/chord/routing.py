@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from ..errors import DeliveryError, RoutingError
 from ..sim.messages import Message
 from ..sim.stats import TrafficStats
+from ..transport import Transport
 from .idspace import IdentifierSpace
 from .node import ChordNode
 
@@ -31,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
 
 
-class Router:
+class Router(Transport):
     """Stateless routing engine over a shared identifier space.
 
     A single router instance serves a whole simulated network; per-node

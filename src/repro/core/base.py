@@ -206,11 +206,11 @@ class Algorithm:
                         refresh=refresh,
                     )
                 )
-        router = engine.network.router
+        transport = engine.transport
         if len(idents) == 1:
-            router.send(origin, messages[0], idents[0])
+            transport.send(origin, messages[0], idents[0])
         else:
-            router.multisend(
+            transport.multisend(
                 origin, messages, idents, recursive=engine.config.recursive_multisend
             )
         return labels
@@ -269,7 +269,7 @@ class Algorithm:
                 messages.append(
                     VLIndexMessage(tuple=tup, index_attribute=attribute, refresh=refresh)
                 )
-        engine.network.router.multisend(
+        engine.transport.multisend(
             origin, messages, idents, recursive=engine.config.recursive_multisend
         )
 
@@ -411,7 +411,7 @@ class Algorithm:
         refresh the JFRT.
         """
         state = engine.state(node)
-        router = engine.network.router
+        transport = engine.transport
         routed_idents: list[int] = []
         routed_messages: list[JoinMessage] = []
         for ident, (rewritten_list, projection_list) in batches.items():
@@ -420,12 +420,12 @@ class Algorithm:
             )
             cached = state.jfrt.lookup(ident) if state.jfrt is not None else None
             if cached is not None:
-                router.send_direct(node, message, cached)
+                transport.send_direct(node, message, cached)
             else:
                 routed_idents.append(ident)
                 routed_messages.append(message)
         if routed_idents:
-            targets = router.multisend(
+            targets = transport.multisend(
                 node,
                 routed_messages,
                 routed_idents,

@@ -138,6 +138,17 @@ class ContinuousQueryEngine:
             self.adopt(node)
         network.transfer_hook = self._transfer
 
+    @property
+    def transport(self):
+        """The active message transport (see :mod:`repro.transport`).
+
+        Resolved through the network on every access so installing a
+        live transport (``network.use_transport``) after the engine was
+        built — the order the cluster bootstrap uses — takes effect
+        immediately.
+        """
+        return self.network.transport
+
     # ------------------------------------------------------------------
     # Node state management
     # ------------------------------------------------------------------
@@ -285,7 +296,7 @@ class ContinuousQueryEngine:
             for ident in self.replication.rewriter_identifiers(
                 self.network.hash, side.relation, attribute
             ):
-                self.network.router.send(origin, message, ident)
+                self.transport.send(origin, message, ident)
 
     # ------------------------------------------------------------------
     # Presence / notification plumbing
@@ -341,9 +352,9 @@ class ContinuousQueryEngine:
                 and target.alive
                 and self._presence.get(subscriber_ident, False)
             ):
-                self.network.router.send_direct(from_node, message, target)
+                self.transport.send_direct(from_node, message, target)
             else:
-                self.network.router.send(from_node, message, subscriber_ident)
+                self.transport.send(from_node, message, subscriber_ident)
 
     def _on_notification(self, node: ChordNode, msg: NotificationMessage) -> None:
         state = self.state(node)

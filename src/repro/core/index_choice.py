@@ -101,7 +101,7 @@ class IndexChoiceStrategy:
         ident = engine.replication.probe_identifier(
             engine.network.hash, side.relation, attribute
         )
-        node = engine.network.router.lookup(origin, ident, account="rate-probe")
+        node = engine.transport.lookup(origin, ident, account="rate-probe")
         state = engine.state(node)
         return state.arrivals.get((side.relation, attribute), ArrivalStats())
 

@@ -27,6 +27,14 @@ class NetworkError(ReproError):
     """Invalid overlay operation (duplicate join, dead node, ...)."""
 
 
+class CodecError(ReproError):
+    """A wire frame could not be encoded or decoded.
+
+    Raised for unserializable payloads, truncated or corrupt frames,
+    and frames carrying an unsupported protocol version.
+    """
+
+
 class DeliveryError(NetworkError):
     """A message could not be delivered despite retries and fallback.
 

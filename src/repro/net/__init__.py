@@ -1,0 +1,31 @@
+"""repro.net — live asyncio transport for the overlay.
+
+The simulator (:mod:`repro.sim`) delivers messages by direct Python
+calls; this package runs the *same* engine and algorithms over real TCP
+sockets.  The pieces:
+
+* :mod:`repro.net.codec` — versioned, length-prefixed binary wire
+  format for every overlay message and its payload records;
+* :mod:`repro.net.frames` — routing envelopes and the bootstrap/join
+  control frames exchanged between peers;
+* :mod:`repro.net.peer` — one asyncio peer per overlay node: TCP
+  server, pooled outbound connections, timeouts and retry/backoff;
+* :mod:`repro.net.cluster` — spin up an N-node localhost ring, drive a
+  workload through it and compare against the simulator oracle
+  (``python -m repro.net.cluster``).
+
+The seam that makes this possible is :class:`repro.transport.Transport`:
+the engine sends through ``engine.transport`` and never notices whether
+the implementation is the simulator's :class:`repro.chord.routing.Router`
+or :class:`repro.net.peer.SocketTransport`.
+"""
+
+from .codec import PROTOCOL_VERSION, decode, decode_frame, encode, encode_frame
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "decode",
+    "decode_frame",
+    "encode",
+    "encode_frame",
+]

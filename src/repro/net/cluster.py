@@ -1,0 +1,376 @@
+"""Run the four algorithms over a live localhost ring.
+
+:class:`LiveCluster` builds the same stable Chord ring the simulator
+uses (``ChordNetwork.build``), gives every node a :class:`NetPeer` with
+a real TCP server, runs the bootstrap handshake so every peer's address
+book converges, swaps the network's transport for the
+:class:`~repro.net.peer.SocketTransport`, and replays a
+:class:`~repro.workload.generator.Workload` with exactly the harness's
+seeded driver loop — same RNG stream, same clock advances, same
+subscribe/publish calls.  Between workload events the driver awaits
+cluster quiescence (the in-flight delivery counter reaching zero), so
+an event's full causal cascade lands before the next event fires, just
+as a simulator event's synchronous call tree completes before the next.
+
+Because the notification digest is a *set* digest (sorted per query and
+across queries), within-event frame reordering over TCP cannot change
+it; a live run must therefore reproduce the simulator's digest exactly
+for the same workload and seed.  That is the subsystem's correctness
+gate, runnable from the command line::
+
+    python -m repro.net.cluster --algorithm dai-v --nodes 8 \\
+        --queries 30 --tuples 120 --compare-sim
+
+which exits non-zero if the live digest differs from the simulator's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..chord.network import ChordNetwork
+from ..core.engine import ContinuousQueryEngine, EngineConfig
+from ..errors import NetworkError
+from ..perf import PERF
+from ..sim.stats import TrafficSnapshot, TrafficStats
+from ..workload.generator import Workload, WorkloadParams, build_workload
+from .codec import HEADER_SIZE, decode, decode_header, encode_frame
+from .frames import JoinReply, JoinRequest
+from .peer import InFlight, NetConfig, NetPeer, SocketTransport
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of a live cluster run."""
+
+    algorithm: str = "sai"
+    n_nodes: int = 8
+    #: Engine *and* driver seed, exactly like the harness's ``seed``.
+    seed: int = 1
+    host: str = "127.0.0.1"
+    #: Ceiling on waiting for one workload event's cascade to land.
+    quiesce_timeout: float = 30.0
+    #: Extra :class:`~repro.core.engine.EngineConfig` fields (window,
+    #: replication_factor, ...).
+    engine_overrides: dict = field(default_factory=dict)
+    net: NetConfig = field(default_factory=NetConfig)
+
+
+@dataclass
+class LiveReport:
+    """What a live run produced, for humans and for the sim comparison."""
+
+    algorithm: str
+    n_nodes: int
+    n_queries: int
+    n_tuples: int
+    notifications_delivered: int
+    notification_digest: str
+    traffic: TrafficSnapshot
+    frames_sent: int
+    bytes_sent: int
+    perf: dict
+
+    def summary(self) -> str:
+        return (
+            f"live {self.algorithm}: {self.n_nodes} nodes, "
+            f"{self.n_queries} queries, {self.n_tuples} tuples -> "
+            f"{self.notifications_delivered} notifications, "
+            f"{self.frames_sent} frames / {self.bytes_sent} bytes on the "
+            f"wire, {self.traffic.hops} overlay hops, "
+            f"digest {self.notification_digest[:12]}"
+        )
+
+
+class LiveCluster:
+    """An N-node localhost ring running one engine over real sockets."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config if config is not None else ClusterConfig()
+        self.network = ChordNetwork.build(self.config.n_nodes)
+        self.engine = ContinuousQueryEngine(
+            self.network,
+            EngineConfig(
+                algorithm=self.config.algorithm,
+                seed=self.config.seed,
+                **self.config.engine_overrides,
+            ),
+        )
+        self.net_config = self.config.net
+        self.stats = TrafficStats()
+        self.in_flight = InFlight()
+        self.transport = SocketTransport(self)
+        self.max_hops = self.network.router.max_hops
+        self.peers: dict[int, NetPeer] = {}
+        self.errors: list[Exception] = []
+        self._previous_transport = None
+
+    # ------------------------------------------------------------------
+    # Plumbing used by peers/transport
+    # ------------------------------------------------------------------
+    def peer_for(self, node) -> NetPeer:
+        return self.peers[node.ident]
+
+    def frame_failed(self, exc: Exception, weight: int) -> None:
+        """A frame was lost for good; settle its deliveries and record."""
+        self.errors.append(exc)
+        self.stats.record_drop(getattr(exc, "message_type", "frame"))
+        if weight:
+            self.in_flight.dec(weight)
+
+    def handler_failed(self, exc: Exception) -> None:
+        self.errors.append(exc)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind every peer, run the bootstrap handshake, go live."""
+        nodes = self.network.nodes
+        for node in nodes:
+            peer = NetPeer(node, self)
+            self.peers[node.ident] = peer
+            await peer.start(self.config.host)
+        bootstrap = self.peers[nodes[0].ident]
+        for node in nodes[1:]:
+            await self._join_via(self.peers[node.ident], bootstrap.info)
+        await self.drain()  # flush the MemberUpdate broadcasts
+        expected = len(nodes)
+        for peer in self.peers.values():
+            if len(peer.book) != expected:
+                raise NetworkError(
+                    f"peer {peer.node.ident} bootstrapped with "
+                    f"{len(peer.book)}/{expected} addresses"
+                )
+        self._previous_transport = self.network.use_transport(self.transport)
+
+    async def _join_via(self, peer: NetPeer, bootstrap) -> None:
+        """One joiner's handshake: JoinRequest over TCP, JoinReply back."""
+        net = self.net_config
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(bootstrap.host, bootstrap.port),
+            net.connect_timeout,
+        )
+        try:
+            writer.write(encode_frame(JoinRequest(info=peer.info)))
+            await asyncio.wait_for(writer.drain(), net.io_timeout)
+            header = await asyncio.wait_for(
+                reader.readexactly(HEADER_SIZE), net.io_timeout
+            )
+            payload = await asyncio.wait_for(
+                reader.readexactly(decode_header(header)), net.io_timeout
+            )
+            reply = decode(payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover - teardown
+                pass
+        if not isinstance(reply, JoinReply):
+            raise NetworkError(
+                f"bootstrap answered a JoinRequest with "
+                f"{type(reply).__name__}"
+            )
+        for info in reply.members:
+            peer.book.setdefault(info.ident, info)
+
+    async def stop(self) -> None:
+        """Close every peer; restore the simulator transport."""
+        if self._previous_transport is not None:
+            self.network.use_transport(self._previous_transport)
+            self._previous_transport = None
+        for peer in self.peers.values():
+            await peer.stop()
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Wait until every posted delivery has been handled."""
+        try:
+            await self.in_flight.wait_zero(self.config.quiesce_timeout)
+        except asyncio.TimeoutError:
+            raise NetworkError(
+                f"cluster failed to quiesce within "
+                f"{self.config.quiesce_timeout}s; {self.in_flight.count} "
+                f"deliveries still in flight"
+            ) from None
+        if self.errors:
+            first = self.errors[0]
+            raise NetworkError(
+                f"{len(self.errors)} delivery/handler failure(s); "
+                f"first: {first!r}"
+            ) from first
+
+    async def run(self, workload: Workload, *, evict_every: int = 64) -> LiveReport:
+        """Replay ``workload`` — the harness driver loop, one drain per event."""
+        engine = self.engine
+        rng = random.Random(self.config.seed)
+        events_since_evict = 0
+        for event in workload:
+            engine.clock.advance_to(event.time)
+            origin = self.network.random_node(rng)
+            if event.kind == "query":
+                engine.subscribe(origin, event.payload)
+            else:
+                relation, values = event.payload
+                engine.publish(origin, relation, values)
+            await self.drain()
+            events_since_evict += 1
+            if (
+                engine.config.window is not None
+                and events_since_evict >= evict_every
+            ):
+                engine.evict_expired()
+                events_since_evict = 0
+        if engine.config.window is not None:
+            engine.evict_expired()
+        await self.drain()
+        return self.report(workload)
+
+    def report(self, workload: Workload) -> LiveReport:
+        from ..bench.macro import notification_digest
+
+        return LiveReport(
+            algorithm=self.engine.config.algorithm,
+            n_nodes=len(self.network),
+            n_queries=workload.n_queries,
+            n_tuples=workload.n_tuples,
+            notifications_delivered=sum(
+                len(batch) for batch in self.engine.delivered.values()
+            ),
+            notification_digest=notification_digest(self.engine),
+            traffic=self.stats.snapshot(),
+            frames_sent=sum(peer.frames_sent for peer in self.peers.values()),
+            bytes_sent=sum(peer.bytes_sent for peer in self.peers.values()),
+            perf=PERF.snapshot(),
+        )
+
+
+async def run_live(
+    workload: Workload, config: Optional[ClusterConfig] = None
+) -> LiveReport:
+    """Start a cluster, replay ``workload``, always tear down."""
+    cluster = LiveCluster(config)
+    await cluster.start()
+    try:
+        return await cluster.run(workload)
+    finally:
+        await cluster.stop()
+
+
+def simulate_reference(
+    workload: Workload, *, algorithm: str, n_nodes: int, seed: int
+) -> tuple[str, int]:
+    """The simulator oracle: digest + delivery count for one workload."""
+    from ..bench.harness import run_workload
+    from ..bench.macro import notification_digest
+
+    engine = ContinuousQueryEngine(
+        ChordNetwork.build(n_nodes),
+        EngineConfig(algorithm=algorithm, seed=seed),
+    )
+    result = run_workload(engine, workload, seed=seed)
+    return notification_digest(engine), result.notifications_delivered
+
+
+# ----------------------------------------------------------------------
+# Command-line runner
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.cluster",
+        description="Run a workload over a live localhost ring of "
+        "asyncio peers (optionally checking it against the simulator).",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="sai",
+        choices=("sai", "dai-q", "dai-t", "dai-v"),
+        help="query-processing algorithm (default: sai)",
+    )
+    parser.add_argument("--nodes", type=int, default=8, help="ring size")
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--tuples", type=int, default=100)
+    parser.add_argument("--domain-size", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--compare-sim",
+        action="store_true",
+        help="also replay the workload in the simulator and fail unless "
+        "the delivered-notification digests match exactly",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    workload = build_workload(
+        WorkloadParams(
+            n_queries=args.queries,
+            n_tuples=args.tuples,
+            domain_size=args.domain_size,
+            seed=args.seed,
+        )
+    )
+    report = asyncio.run(
+        run_live(
+            workload,
+            ClusterConfig(
+                algorithm=args.algorithm, n_nodes=args.nodes, seed=args.seed
+            ),
+        )
+    )
+
+    payload = {
+        "algorithm": report.algorithm,
+        "n_nodes": report.n_nodes,
+        "n_queries": report.n_queries,
+        "n_tuples": report.n_tuples,
+        "notifications_delivered": report.notifications_delivered,
+        "notification_digest": report.notification_digest,
+        "frames_sent": report.frames_sent,
+        "bytes_sent": report.bytes_sent,
+        "overlay_hops": report.traffic.hops,
+        "messages": report.traffic.messages,
+        "perf": report.perf,
+    }
+
+    status = 0
+    if args.compare_sim:
+        sim_digest, sim_delivered = simulate_reference(
+            workload,
+            algorithm=args.algorithm,
+            n_nodes=args.nodes,
+            seed=args.seed,
+        )
+        matches = sim_digest == report.notification_digest
+        payload["sim_digest"] = sim_digest
+        payload["sim_notifications_delivered"] = sim_delivered
+        payload["matches_simulator"] = matches
+        status = 0 if matches else 1
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        if args.compare_sim:
+            verdict = "MATCH" if payload["matches_simulator"] else "MISMATCH"
+            print(
+                f"simulator digest {payload['sim_digest'][:12]} "
+                f"({payload['sim_notifications_delivered']} notifications) "
+                f"-> {verdict}"
+            )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,514 @@
+"""Versioned, length-prefixed binary wire codec for overlay messages.
+
+Frame layout (all integers big-endian)::
+
+    +-------+---------+------------------+---------------------+
+    | magic | version | payload length   | payload             |
+    | 2B    | 1B      | 4B unsigned      | <length> bytes      |
+    +-------+---------+------------------+---------------------+
+
+The magic is ``b"RJ"`` (repro-join); the version byte is
+:data:`PROTOCOL_VERSION` and lets future revisions evolve the payload
+format without ambiguity — a peer receiving an unknown version raises
+:class:`~repro.errors.CodecError` instead of misparsing.
+
+The payload is one *value* in a tagged, self-describing encoding:
+
+* primitives — ``None``, booleans, arbitrary-precision integers
+  (zigzag + LEB128 varint, large enough for 2**160 Chord identifiers),
+  IEEE-754 doubles, UTF-8 strings, bytes;
+* containers — tuples, lists, dicts (recursively encoded);
+* records — every dataclass that can appear in a message: schema
+  objects, tuples, expressions, queries, rewritten queries,
+  notifications, the :mod:`repro.sim.messages` hierarchy and the
+  :mod:`repro.net.frames` envelopes.  A record is its tag byte followed
+  by its fields in declaration order, each encoded as a value.
+
+Records are registered via :func:`register_record`, which derives the
+encoder/decoder from a field list; payload classes round-trip through
+their constructors, so schema validation (``__post_init__``) re-runs on
+the receiving peer — a malformed frame fails loudly at decode time, not
+deep inside a handler.
+
+Python-specific caveats handled here:
+
+* ``bool`` is a subclass of ``int`` — dispatch is on ``type(obj)``
+  exactly, so ``True`` encodes as a boolean, never as ``1``;
+* ``int`` and ``float`` encode distinctly even for equal values
+  (``2 != 2.0`` on the wire) because identifier hashing stringifies
+  values and ``str(2) != str(2.0)``;
+* :class:`~repro.sql.schema.Relation` decoding interns through a small
+  cache so every tuple of a relation shares one schema object per
+  process — handlers and rewrite plans bind positional lookups to the
+  relation *object* (see ``RewritePlan.bind_positions``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Optional
+
+from ..core.notifications import Notification
+from ..errors import CodecError
+from ..sim.messages import (
+    ALIndexMessage,
+    JoinMessage,
+    Message,
+    NotificationMessage,
+    QueryIndexMessage,
+    RateProbeMessage,
+    UnsubscribeMessage,
+    VLIndexMessage,
+)
+from ..sql.expr import AttrRef, BinaryOp, Const, Negate
+from ..sql.query import (
+    BoundValue,
+    JoinQuery,
+    LocalFilter,
+    PendingAttr,
+    QuerySide,
+    RewrittenQuery,
+    Subscriber,
+)
+from ..sql.schema import Relation
+from ..sql.tuples import DataTuple, ProjectedTuple
+
+#: Wire protocol version; bump when the payload encoding changes.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"RJ"
+
+_HEADER = struct.Struct(">2sBI")
+HEADER_SIZE = _HEADER.size
+
+#: Upper bound on a single frame's payload — a corrupt length prefix
+#: must not make a peer try to buffer gigabytes.
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+_DOUBLE = struct.Struct(">d")
+
+# ----------------------------------------------------------------------
+# Value tags
+# ----------------------------------------------------------------------
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_TUPLE = 0x07
+_TAG_LIST = 0x08
+_TAG_DICT = 0x09
+
+# Record tags: 0x10–0x1F payload records, 0x20–0x2F overlay messages,
+# 0x30–0x3F net control frames (registered by repro.net.frames).
+TAG_RELATION = 0x10
+TAG_DATA_TUPLE = 0x11
+TAG_PROJECTED_TUPLE = 0x12
+TAG_CONST = 0x13
+TAG_ATTR_REF = 0x14
+TAG_BINARY_OP = 0x15
+TAG_NEGATE = 0x16
+TAG_LOCAL_FILTER = 0x17
+TAG_QUERY_SIDE = 0x18
+TAG_SUBSCRIBER = 0x19
+TAG_JOIN_QUERY = 0x1A
+TAG_BOUND_VALUE = 0x1B
+TAG_PENDING_ATTR = 0x1C
+TAG_REWRITTEN_QUERY = 0x1D
+TAG_NOTIFICATION = 0x1E
+
+TAG_MESSAGE = 0x20
+TAG_QUERY_INDEX = 0x21
+TAG_AL_INDEX = 0x22
+TAG_VL_INDEX = 0x23
+TAG_JOIN_MSG = 0x24
+TAG_NOTIFICATION_MSG = 0x25
+TAG_UNSUBSCRIBE = 0x26
+TAG_RATE_PROBE = 0x27
+
+
+# ----------------------------------------------------------------------
+# Varints
+# ----------------------------------------------------------------------
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint (7 bits per byte, msb = continuation)."""
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _write_int(out: bytearray, value: int) -> None:
+    """Zigzag-mapped varint: small magnitudes of either sign stay small."""
+    zigzag = value << 1 if value >= 0 else (-value << 1) - 1
+    _write_uvarint(out, zigzag)
+
+
+class _Reader:
+    """Cursor over a payload with truncation-checked reads."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def read_byte(self) -> int:
+        try:
+            byte = self.data[self.pos]
+        except IndexError:
+            raise CodecError("truncated frame: expected a tag byte") from None
+        self.pos += 1
+        return byte
+
+    def read_bytes(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise CodecError(
+                f"truncated frame: wanted {count} bytes, "
+                f"{len(self.data) - self.pos} left"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def read_uvarint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.read_byte()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def read_int(self) -> int:
+        zigzag = self.read_uvarint()
+        return zigzag >> 1 if not zigzag & 1 else -((zigzag + 1) >> 1)
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+
+_ENCODERS: dict[type, Callable[[bytearray, Any], None]] = {}
+_DECODERS: dict[int, Callable[[_Reader], Any]] = {}
+
+
+def _encode_value(out: bytearray, obj: Any) -> None:
+    encoder = _ENCODERS.get(type(obj))
+    if encoder is None:
+        raise CodecError(f"cannot serialize {type(obj).__name__}: {obj!r}")
+    encoder(out, obj)
+
+
+def _decode_value(reader: _Reader) -> Any:
+    tag = reader.read_byte()
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown value tag 0x{tag:02X}")
+    return decoder(reader)
+
+
+def _encode_none(out, obj):
+    out.append(_TAG_NONE)
+
+
+def _encode_bool(out, obj):
+    out.append(_TAG_TRUE if obj else _TAG_FALSE)
+
+
+def _encode_int(out, obj):
+    out.append(_TAG_INT)
+    _write_int(out, obj)
+
+
+def _encode_float(out, obj):
+    out.append(_TAG_FLOAT)
+    out += _DOUBLE.pack(obj)
+
+
+def _encode_str(out, obj):
+    out.append(_TAG_STR)
+    data = obj.encode("utf-8")
+    _write_uvarint(out, len(data))
+    out += data
+
+
+def _encode_bytes(out, obj):
+    out.append(_TAG_BYTES)
+    _write_uvarint(out, len(obj))
+    out += obj
+
+
+def _encode_tuple(out, obj):
+    out.append(_TAG_TUPLE)
+    _write_uvarint(out, len(obj))
+    for item in obj:
+        _encode_value(out, item)
+
+
+def _encode_list(out, obj):
+    out.append(_TAG_LIST)
+    _write_uvarint(out, len(obj))
+    for item in obj:
+        _encode_value(out, item)
+
+
+def _encode_dict(out, obj):
+    out.append(_TAG_DICT)
+    _write_uvarint(out, len(obj))
+    for key, value in obj.items():
+        _encode_value(out, key)
+        _encode_value(out, value)
+
+
+_ENCODERS[type(None)] = _encode_none
+_ENCODERS[bool] = _encode_bool
+_ENCODERS[int] = _encode_int
+_ENCODERS[float] = _encode_float
+_ENCODERS[str] = _encode_str
+_ENCODERS[bytes] = _encode_bytes
+_ENCODERS[tuple] = _encode_tuple
+_ENCODERS[list] = _encode_list
+_ENCODERS[dict] = _encode_dict
+
+_DECODERS[_TAG_NONE] = lambda reader: None
+_DECODERS[_TAG_TRUE] = lambda reader: True
+_DECODERS[_TAG_FALSE] = lambda reader: False
+_DECODERS[_TAG_INT] = _Reader.read_int
+_DECODERS[_TAG_FLOAT] = lambda reader: _DOUBLE.unpack(reader.read_bytes(8))[0]
+
+
+def _decode_str(reader: _Reader) -> str:
+    length = reader.read_uvarint()
+    return reader.read_bytes(length).decode("utf-8")
+
+
+def _decode_bytes(reader: _Reader) -> bytes:
+    return reader.read_bytes(reader.read_uvarint())
+
+
+def _decode_tuple(reader: _Reader) -> tuple:
+    return tuple(_decode_value(reader) for _ in range(reader.read_uvarint()))
+
+
+def _decode_list(reader: _Reader) -> list:
+    return [_decode_value(reader) for _ in range(reader.read_uvarint())]
+
+
+def _decode_dict(reader: _Reader) -> dict:
+    return {
+        _decode_value(reader): _decode_value(reader)
+        for _ in range(reader.read_uvarint())
+    }
+
+
+_DECODERS[_TAG_STR] = _decode_str
+_DECODERS[_TAG_BYTES] = _decode_bytes
+_DECODERS[_TAG_TUPLE] = _decode_tuple
+_DECODERS[_TAG_LIST] = _decode_list
+_DECODERS[_TAG_DICT] = _decode_dict
+
+
+# ----------------------------------------------------------------------
+# Record registry
+# ----------------------------------------------------------------------
+
+def register_record(
+    cls: type,
+    tag: int,
+    fields: tuple[str, ...],
+    *,
+    build: Optional[Callable[..., Any]] = None,
+) -> None:
+    """Register a dataclass-like record under a wire tag.
+
+    ``fields`` are read with ``getattr`` at encode time and passed (in
+    order, as keywords) to ``build`` — the class itself by default — at
+    decode time.  A record is free to omit fields that must not travel
+    (e.g. ``RateProbeMessage.reply_box``) by leaving them out of
+    ``fields`` and letting the constructor default them.
+    """
+    if tag in _DECODERS:
+        raise CodecError(f"wire tag 0x{tag:02X} registered twice")
+    if type(cls) is not type:
+        raise CodecError(f"record class expected, got {cls!r}")
+    builder = build if build is not None else cls
+
+    def encode_record(out: bytearray, obj: Any, _tag=tag, _fields=fields) -> None:
+        out.append(_tag)
+        for name in _fields:
+            _encode_value(out, getattr(obj, name))
+
+    def decode_record(reader: _Reader, _builder=builder, _fields=fields) -> Any:
+        kwargs = {name: _decode_value(reader) for name in _fields}
+        return _builder(**kwargs)
+
+    _ENCODERS[cls] = encode_record
+    _DECODERS[tag] = decode_record
+
+
+# -- payload records ---------------------------------------------------
+
+#: Decode-side intern cache: one ``Relation`` object per (name, attrs)
+#: per process, so positional bindings (``Relation._positions`` lookups
+#: cached on rewrite plans) stay hot across decoded tuples.
+_RELATION_CACHE: dict[tuple[str, tuple[str, ...]], Relation] = {}
+
+
+def _build_relation(*, name: str, attributes: tuple[str, ...]) -> Relation:
+    key = (name, attributes)
+    relation = _RELATION_CACHE.get(key)
+    if relation is None:
+        relation = Relation(name, attributes)
+        _RELATION_CACHE[key] = relation
+    return relation
+
+
+register_record(Relation, TAG_RELATION, ("name", "attributes"), build=_build_relation)
+register_record(DataTuple, TAG_DATA_TUPLE, ("relation", "values", "pub_time"))
+register_record(
+    ProjectedTuple, TAG_PROJECTED_TUPLE, ("relation_name", "items", "pub_time")
+)
+register_record(Const, TAG_CONST, ("value",))
+register_record(AttrRef, TAG_ATTR_REF, ("relation", "attribute"))
+register_record(BinaryOp, TAG_BINARY_OP, ("op", "left", "right"))
+register_record(Negate, TAG_NEGATE, ("operand",))
+register_record(LocalFilter, TAG_LOCAL_FILTER, ("attribute", "value"))
+register_record(QuerySide, TAG_QUERY_SIDE, ("relation", "expr", "filters"))
+register_record(Subscriber, TAG_SUBSCRIBER, ("key", "ident", "ip"))
+register_record(
+    JoinQuery,
+    TAG_JOIN_QUERY,
+    ("select", "left", "right", "key", "insertion_time", "subscriber"),
+)
+register_record(BoundValue, TAG_BOUND_VALUE, ("value",))
+register_record(PendingAttr, TAG_PENDING_ATTR, ("attribute",))
+register_record(
+    RewrittenQuery,
+    TAG_REWRITTEN_QUERY,
+    (
+        "key",
+        "original_key",
+        "group_signature",
+        "subscriber",
+        "insertion_time",
+        "relation",
+        "expr",
+        "required_value",
+        "dis_attribute",
+        "dis_value",
+        "filters",
+        "select",
+        "trigger_pub_time",
+    ),
+)
+register_record(
+    Notification,
+    TAG_NOTIFICATION,
+    (
+        "query_key",
+        "subscriber_ident",
+        "row",
+        "join_value_repr",
+        "trigger_pub_time",
+        "match_pub_time",
+        "created_at",
+    ),
+)
+
+# -- overlay messages --------------------------------------------------
+
+register_record(Message, TAG_MESSAGE, ())
+register_record(
+    QueryIndexMessage,
+    TAG_QUERY_INDEX,
+    ("query", "index_side", "routing_ident", "refresh"),
+)
+register_record(
+    ALIndexMessage, TAG_AL_INDEX, ("tuple", "index_attribute", "refresh")
+)
+register_record(
+    VLIndexMessage, TAG_VL_INDEX, ("tuple", "index_attribute", "refresh")
+)
+register_record(JoinMessage, TAG_JOIN_MSG, ("rewritten", "projections"))
+register_record(
+    NotificationMessage,
+    TAG_NOTIFICATION_MSG,
+    ("notifications", "subscriber_ident"),
+)
+register_record(UnsubscribeMessage, TAG_UNSUBSCRIBE, ("query_key",))
+# reply_box is a local mutable answer slot; it never travels.
+register_record(RateProbeMessage, TAG_RATE_PROBE, ("relation", "attribute"))
+
+
+# ----------------------------------------------------------------------
+# Public payload/frame API
+# ----------------------------------------------------------------------
+
+def encode(obj: Any) -> bytes:
+    """Serialize one value/record/message to payload bytes (no header)."""
+    out = bytearray()
+    _encode_value(out, obj)
+    return bytes(out)
+
+
+def decode(payload: bytes) -> Any:
+    """Inverse of :func:`encode`; raises :class:`CodecError` on junk."""
+    reader = _Reader(payload)
+    obj = _decode_value(reader)
+    if reader.pos != len(payload):
+        raise CodecError(
+            f"{len(payload) - reader.pos} trailing bytes after payload"
+        )
+    return obj
+
+
+def encode_frame(obj: Any) -> bytes:
+    """Serialize ``obj`` to a complete wire frame (header + payload)."""
+    payload = encode(obj)
+    if len(payload) > MAX_PAYLOAD:
+        raise CodecError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD"
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+
+
+def decode_header(header: bytes) -> int:
+    """Validate a frame header and return the payload length."""
+    if len(header) != HEADER_SIZE:
+        raise CodecError(
+            f"truncated header: {len(header)} of {HEADER_SIZE} bytes"
+        )
+    magic, version, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise CodecError(
+            f"unsupported protocol version {version} "
+            f"(this peer speaks {PROTOCOL_VERSION})"
+        )
+    if length > MAX_PAYLOAD:
+        raise CodecError(f"frame length {length} exceeds MAX_PAYLOAD")
+    return length
+
+
+def decode_frame(data: bytes) -> tuple[Any, int]:
+    """Decode one frame from ``data``; returns ``(obj, bytes_consumed)``.
+
+    ``data`` must contain at least one complete frame (streaming reads
+    should use :func:`decode_header` + exact payload reads instead).
+    """
+    length = decode_header(data[:HEADER_SIZE])
+    end = HEADER_SIZE + length
+    if len(data) < end:
+        raise CodecError(
+            f"truncated frame: payload wants {length} bytes, "
+            f"{len(data) - HEADER_SIZE} available"
+        )
+    return decode(data[HEADER_SIZE:end]), end

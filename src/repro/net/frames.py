@@ -1,0 +1,110 @@
+"""Wire envelopes: routing frames and bootstrap control frames.
+
+Application messages (:mod:`repro.sim.messages`) never travel bare; a
+peer wraps them in one of three envelopes that mirror the simulator's
+routing primitives (Section 2.3):
+
+* :class:`RouteFrame` — ``send(msg, I)``: forwarded hop by hop along
+  real finger tables until the node owning ``target_ident`` delivers;
+* :class:`MultiFrame` — recursive ``multisend(M, L)``: the pair list is
+  sorted clockwise from the source, every peer on the sweep strips and
+  delivers the pairs it owns and forwards the remainder;
+* :class:`DirectFrame` — ``send_direct``: one TCP hop to a peer whose
+  address is already known (notification delivery, JFRT hits).
+
+The bootstrap handshake uses three more frames: a starting peer sends
+:class:`JoinRequest` with its own :class:`PeerInfo` to the bootstrap
+peer, which answers with a :class:`JoinReply` listing every member it
+knows and fans a :class:`MemberUpdate` out to the existing members so
+all address books converge before the workload starts.
+
+All frames are codec records (tags ``0x30``–``0x3F``) so the one wire
+format of :mod:`repro.net.codec` covers control and data traffic alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .codec import register_record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.messages import Message
+
+TAG_PEER_INFO = 0x30
+TAG_ROUTE_FRAME = 0x31
+TAG_MULTI_FRAME = 0x32
+TAG_DIRECT_FRAME = 0x33
+TAG_JOIN_REQUEST = 0x34
+TAG_JOIN_REPLY = 0x35
+TAG_MEMBER_UPDATE = 0x36
+
+
+@dataclass(frozen=True, slots=True)
+class PeerInfo:
+    """One peer's overlay identifier and socket address."""
+
+    ident: int
+    host: str
+    port: int
+
+
+@dataclass(frozen=True, slots=True)
+class RouteFrame:
+    """``send(msg, I)`` in flight: deliver at ``Successor(target_ident)``.
+
+    ``hops`` counts the TCP forwards taken so far — diagnostic only,
+    but also the loop guard: a frame whose hop count exceeds the
+    routing bound is dropped with an error instead of orbiting forever.
+    """
+
+    target_ident: int
+    message: "Message"
+    hops: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MultiFrame:
+    """A recursive-multisend sweep: ``(ident, message)`` pairs sorted
+    clockwise from the originating node."""
+
+    pairs: tuple[tuple[int, "Message"], ...]
+    hops: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DirectFrame:
+    """One-hop delivery to the receiving peer's node."""
+
+    message: "Message"
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRequest:
+    """Announce a new peer to the bootstrap peer."""
+
+    info: PeerInfo
+
+
+@dataclass(frozen=True, slots=True)
+class JoinReply:
+    """Bootstrap's answer: every member known so far (joiner included)."""
+
+    members: tuple[PeerInfo, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MemberUpdate:
+    """Membership broadcast keeping older peers' address books current."""
+
+    members: tuple[PeerInfo, ...]
+
+
+register_record(PeerInfo, TAG_PEER_INFO, ("ident", "host", "port"))
+register_record(RouteFrame, TAG_ROUTE_FRAME, ("target_ident", "message", "hops"))
+register_record(MultiFrame, TAG_MULTI_FRAME, ("pairs", "hops"))
+register_record(DirectFrame, TAG_DIRECT_FRAME, ("message",))
+register_record(JoinRequest, TAG_JOIN_REQUEST, ("info",))
+register_record(JoinReply, TAG_JOIN_REPLY, ("members",))
+register_record(MemberUpdate, TAG_MEMBER_UPDATE, ("members",))

@@ -1,0 +1,478 @@
+"""One asyncio peer per overlay node, plus the socket transport.
+
+A :class:`NetPeer` gives its :class:`~repro.chord.node.ChordNode` a real
+TCP presence: a listening server (ephemeral port on localhost), an
+address book mapping overlay identifiers to socket addresses, and a
+pool of outbound connections — one persistent connection per target
+peer, fed by a queue and flushed by a writer task, so frames to the
+same peer never interleave and never handshake twice.
+
+:class:`SocketTransport` implements the :class:`~repro.transport.Transport`
+contract over those peers.  Delivery semantics:
+
+* routed frames travel **hop by hop** along the nodes' real finger
+  tables — each TCP forward is one overlay hop, billed to the shared
+  :class:`~repro.sim.stats.TrafficStats`;
+* handlers run synchronously at the receiving peer, exactly as in the
+  simulator; frames they emit are queued before the triggering
+  delivery is marked done, so the cluster-wide :class:`InFlight`
+  counter reaches zero only when an event's full causal cascade has
+  landed;
+* write failures retry with the fault-injection backoff shape of PR-1
+  (``backoff_base * 2**(attempt-1)``, up to ``max_attempts``); an
+  exhausted frame surfaces as a :class:`~repro.errors.DeliveryError`
+  collected by the cluster (asynchronous failure cannot raise into the
+  synchronous sender).
+
+Known single-process shortcut: the *return value* of ``send``/
+``multisend`` (the responsible node) and ``lookup`` come from the
+in-process ring oracle and router, while payloads genuinely travel over
+TCP.  A routing bug therefore shows up as a missing or misdelivered
+frame — the notification digest catches it — not as a wrong return
+value.  See DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..chord.routing import Router
+from ..errors import CodecError, DeliveryError, NetworkError, RoutingError
+from ..transport import Transport
+from ..sim.messages import Message
+from .codec import HEADER_SIZE, decode, decode_header, encode_frame
+from .frames import (
+    DirectFrame,
+    JoinReply,
+    JoinRequest,
+    MemberUpdate,
+    MultiFrame,
+    PeerInfo,
+    RouteFrame,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chord.node import ChordNode
+    from .cluster import LiveCluster
+
+
+@dataclass
+class NetConfig:
+    """Socket-layer knobs of a live cluster.
+
+    The retry shape mirrors the PR-1 fault plan
+    (:class:`repro.faults.plan.FaultPlan`): up to ``max_attempts``
+    delivery attempts with exponential backoff
+    ``backoff_base * 2**(attempt-1)`` between them, then a typed
+    :class:`~repro.errors.DeliveryError` — except the sleeps are real
+    seconds and the drops are real socket errors, not injected ones.
+    """
+
+    connect_timeout: float = 5.0
+    #: Per-frame write/drain timeout (also the bootstrap reply timeout).
+    io_timeout: float = 10.0
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+
+    @classmethod
+    def from_fault_plan(cls, plan) -> "NetConfig":
+        """Lift the retry knobs off a fault plan (same names, same shape)."""
+        return cls(max_attempts=plan.max_attempts, backoff_base=plan.backoff_base)
+
+
+class InFlight:
+    """Cluster-wide count of posted-but-unhandled deliveries.
+
+    The workload driver posts one event's messages and awaits zero.
+    Handlers run synchronously at the receiving peer and post any
+    cascade frames *before* their own delivery decrements, so the
+    counter can only reach zero once the event's entire causal tree has
+    been handled — the live analogue of the simulator completing an
+    event's synchronous call chain.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._zero = asyncio.Event()
+        self._zero.set()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def inc(self, n: int = 1) -> None:
+        self._count += n
+        if self._count:
+            self._zero.clear()
+
+    def dec(self, n: int = 1) -> None:
+        self._count -= n
+        if self._count < 0:
+            raise RuntimeError("in-flight delivery counter went negative")
+        if self._count == 0:
+            self._zero.set()
+
+    async def wait_zero(self, timeout: Optional[float] = None) -> None:
+        await asyncio.wait_for(self._zero.wait(), timeout)
+
+
+def _frame_label(frame) -> str:
+    """The message type a frame's failure should be billed to."""
+    if type(frame) is RouteFrame or type(frame) is DirectFrame:
+        return frame.message.type
+    if type(frame) is MultiFrame:
+        return "multisend"
+    return "control"
+
+
+class _Outbox:
+    """One persistent outbound connection: queue + writer task."""
+
+    def __init__(self, peer: "NetPeer", target: PeerInfo):
+        self.peer = peer
+        self.target = target
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.task = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        await self.queue.put(None)
+        await self.task
+
+    async def _run(self) -> None:
+        config = self.peer.cluster.net_config
+        writer = None
+        try:
+            while True:
+                item = await self.queue.get()
+                if item is None:
+                    return
+                data, weight, label = item
+                attempt = 1
+                while True:
+                    try:
+                        if writer is None:
+                            _, writer = await asyncio.wait_for(
+                                asyncio.open_connection(
+                                    self.target.host, self.target.port
+                                ),
+                                config.connect_timeout,
+                            )
+                        writer.write(data)
+                        await asyncio.wait_for(writer.drain(), config.io_timeout)
+                        self.peer.bytes_sent += len(data)
+                        break
+                    except (OSError, asyncio.TimeoutError):
+                        if writer is not None:
+                            writer.close()
+                            writer = None
+                        if attempt >= config.max_attempts:
+                            self.peer.cluster.frame_failed(
+                                DeliveryError(label, self.target.ident, attempt),
+                                weight,
+                            )
+                            break
+                        self.peer.cluster.stats.record_retry(label)
+                        await asyncio.sleep(
+                            config.backoff_base * (2 ** (attempt - 1))
+                        )
+                        attempt += 1
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, ConnectionError):  # pragma: no cover
+                    pass
+
+
+class NetPeer:
+    """The live (socket) half of one overlay node."""
+
+    def __init__(self, node: "ChordNode", cluster: "LiveCluster"):
+        self.node = node
+        self.cluster = cluster
+        self.info: Optional[PeerInfo] = None
+        #: Overlay identifier -> socket address, filled by the
+        #: bootstrap handshake (each peer keeps its own book).
+        self.book: dict[int, PeerInfo] = {}
+        self._outboxes: dict[int, _Outbox] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._serve_tasks: set[asyncio.Task] = set()
+        self._inbound: set[asyncio.StreamWriter] = set()
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1") -> PeerInfo:
+        """Bind the TCP server on an ephemeral port."""
+        self._server = await asyncio.start_server(self._serve, host, 0)
+        port = self._server.sockets[0].getsockname()[1]
+        self.info = PeerInfo(self.node.ident, host, port)
+        self.book[self.node.ident] = self.info
+        return self.info
+
+    async def stop(self) -> None:
+        """Flush outboxes, stop listening, hang up inbound connections.
+
+        Inbound handlers are not cancelled — their sockets are closed,
+        so each reader loop sees EOF and exits on its own; the gather
+        then merely waits for that, leaving nothing for the event-loop
+        teardown to cancel.
+        """
+        for outbox in self._outboxes.values():
+            await outbox.close()
+        self._outboxes.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._inbound):
+            writer.close()
+        if self._serve_tasks:
+            await asyncio.gather(*self._serve_tasks, return_exceptions=True)
+            self._serve_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+    def post(self, target_ident: int, frame, *, weight: int) -> None:
+        """Queue a frame for ``target_ident``; never blocks the caller."""
+        info = self.book.get(target_ident)
+        if info is None:
+            self.cluster.frame_failed(
+                NetworkError(
+                    f"peer {self.node.ident} has no address for "
+                    f"{target_ident} in its book"
+                ),
+                weight,
+            )
+            return
+        outbox = self._outboxes.get(target_ident)
+        if outbox is None:
+            outbox = _Outbox(self, info)
+            self._outboxes[target_ident] = outbox
+        self.frames_sent += 1
+        outbox.queue.put_nowait((encode_frame(frame), weight, _frame_label(frame)))
+
+    # ------------------------------------------------------------------
+    # Routing (one forwarding step per peer, as the protocol prescribes)
+    # ------------------------------------------------------------------
+    def _next_hop(self, ident: int) -> "ChordNode":
+        """The simulator router's forwarding rule, one step at a time."""
+        node = self.node
+        successor = node.successor
+        if successor is node:
+            return node
+        low = node.ident
+        size = node.space.size
+        if low == successor.ident or 0 < (ident - low) % size <= (
+            successor.ident - low
+        ) % size:
+            return successor
+        next_hop = node.closest_preceding_finger(ident)
+        if next_hop is node or not next_hop.alive:
+            next_hop = successor
+        return next_hop
+
+    def route(self, frame: RouteFrame) -> None:
+        """Deliver or forward a ``send()`` frame."""
+        if self.node.owns(frame.target_ident):
+            self.handle_delivery(frame.message)
+            return
+        if frame.hops >= self.cluster.max_hops:
+            self.cluster.frame_failed(
+                RoutingError(
+                    f"frame for {frame.target_ident} exceeded "
+                    f"{self.cluster.max_hops} hops"
+                ),
+                1,
+            )
+            return
+        self.cluster.stats.record_hops(frame.message.type, 1)
+        self.post(
+            self._next_hop(frame.target_ident).ident,
+            RouteFrame(frame.target_ident, frame.message, frame.hops + 1),
+            weight=1,
+        )
+
+    def route_multi(self, frame: MultiFrame) -> None:
+        """One step of the clockwise multisend sweep (Section 2.3):
+        deliver the pairs this node owns, forward the remainder."""
+        remaining = []
+        for ident, message in frame.pairs:
+            if self.node.owns(ident):
+                self.handle_delivery(message)
+            else:
+                remaining.append((ident, message))
+        if not remaining:
+            return
+        # The sweep visits every owner once, so the bound scales with
+        # the batch on top of the single-target routing bound.
+        if frame.hops >= self.cluster.max_hops + 2 * len(frame.pairs):
+            self.cluster.frame_failed(
+                RoutingError(
+                    f"multisend sweep of {len(frame.pairs)} pairs exceeded "
+                    f"its hop bound"
+                ),
+                len(remaining),
+            )
+            return
+        self.cluster.stats.record_hops("multisend", 1)
+        self.post(
+            self._next_hop(remaining[0][0]).ident,
+            MultiFrame(tuple(remaining), frame.hops + 1),
+            weight=len(remaining),
+        )
+
+    def handle_delivery(self, message: Message) -> None:
+        """Run the node's synchronous handler; always settle the counter."""
+        try:
+            self.node.deliver(message)
+        except Exception as exc:  # surfaced by the next drain()
+            self.cluster.handler_failed(exc)
+        finally:
+            self.cluster.in_flight.dec()
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._serve_tasks.add(task)
+        self._inbound.add(writer)
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(HEADER_SIZE)
+                except asyncio.IncompleteReadError:
+                    break
+                payload = await reader.readexactly(decode_header(header))
+                await self._dispatch(decode(payload), writer)
+        except (CodecError, asyncio.IncompleteReadError, OSError) as exc:
+            self.cluster.handler_failed(exc)
+        finally:
+            self._inbound.discard(writer)
+            if task is not None:
+                self._serve_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover - teardown
+                pass
+
+    async def _dispatch(self, frame, writer: asyncio.StreamWriter) -> None:
+        kind = type(frame)
+        if kind is RouteFrame:
+            self.route(frame)
+        elif kind is MultiFrame:
+            self.route_multi(frame)
+        elif kind is DirectFrame:
+            self.handle_delivery(frame.message)
+        elif kind is JoinRequest:
+            writer.write(encode_frame(self.admit(frame.info)))
+            await writer.drain()
+        elif kind is MemberUpdate:
+            for info in frame.members:
+                self.book.setdefault(info.ident, info)
+            self.cluster.in_flight.dec()
+        else:
+            self.cluster.handler_failed(
+                CodecError(f"unexpected top-level frame {kind.__name__}")
+            )
+
+    def admit(self, info: PeerInfo) -> JoinReply:
+        """Bootstrap-side join: register the newcomer, reply with the
+        membership, and fan a :class:`MemberUpdate` out to the peers
+        that joined earlier so every address book converges."""
+        newcomer = info.ident not in self.book
+        self.book[info.ident] = info
+        if newcomer:
+            update = MemberUpdate(members=(info,))
+            for member_ident in list(self.book):
+                if member_ident in (info.ident, self.node.ident):
+                    continue
+                self.cluster.in_flight.inc()
+                self.post(member_ident, update, weight=1)
+        return JoinReply(
+            members=tuple(self.book[ident] for ident in sorted(self.book))
+        )
+
+
+class SocketTransport(Transport):
+    """:class:`~repro.transport.Transport` over live :class:`NetPeer` s."""
+
+    def __init__(self, cluster: "LiveCluster"):
+        self.cluster = cluster
+
+    # -- Transport API -------------------------------------------------
+    def send(self, source: "ChordNode", message: Message, ident: int) -> "ChordNode":
+        cluster = self.cluster
+        owner = cluster.network.responsible_node(ident)
+        cluster.stats.record(message.type, 0)  # hops billed per forward
+        cluster.in_flight.inc()
+        cluster.peer_for(source).route(RouteFrame(target_ident=ident, message=message))
+        return owner
+
+    def send_direct(
+        self, source: "ChordNode", message: Message, target: "ChordNode"
+    ) -> None:
+        cluster = self.cluster
+        cluster.stats.record(message.type, 0 if source is target else 1)
+        cluster.in_flight.inc()
+        peer = cluster.peer_for(source)
+        if target is source:
+            peer.handle_delivery(message)
+        else:
+            peer.post(target.ident, DirectFrame(message=message), weight=1)
+
+    def multisend(
+        self,
+        source: "ChordNode",
+        messages: Sequence[Message] | Message,
+        idents: Sequence[int],
+        *,
+        recursive: bool = True,
+    ) -> list["ChordNode"]:
+        cluster = self.cluster
+        message_list = Router._pair_messages(messages, idents)
+        owners = [cluster.network.responsible_node(ident) for ident in idents]
+        if not idents:
+            return owners
+        if not recursive:
+            for message, ident in zip(message_list, idents):
+                self.send(source, message, ident)
+            return owners
+        size = cluster.network.space.size
+        start = source.ident
+        pairs = tuple(
+            sorted(
+                zip(idents, message_list),
+                key=lambda pair: (pair[0] - start) % size,
+            )
+        )
+        type_counts: dict[str, int] = {}
+        for message in message_list:
+            type_counts[message.type] = type_counts.get(message.type, 0) + 1
+        for message_type, count in type_counts.items():
+            cluster.stats.record_batch(message_type, count, 0)
+        cluster.in_flight.inc(len(pairs))
+        cluster.peer_for(source).route_multi(MultiFrame(pairs=pairs))
+        return owners
+
+    def lookup(
+        self, origin: "ChordNode", ident: int, *, account: str = "lookup"
+    ) -> "ChordNode":
+        """A local finger-table walk via the in-process router.
+
+        Rate probes (Section 4.3.6) read the probed node's arrival
+        statistics in place, as in the simulator; a wire request/reply
+        probe is future work (DESIGN.md §11).
+        """
+        return self.cluster.network.router.lookup(origin, ident, account=account)

@@ -15,6 +15,13 @@ Messages are plain immutable records; the routing layer only looks at
 ``type`` for accounting.  All message classes are slotted
 (``slots=True``): large runs allocate hundreds of thousands of them,
 and slots cut both per-instance memory and attribute-access time.
+
+Payload fields (the query of a ``query`` message, the tuple of the
+index messages) are **required** — there is deliberately no ``None``
+default.  The wire codec (:mod:`repro.net.codec`) reconstructs these
+records field by field, and a defaulted payload would let a malformed
+frame decode into a half-initialized message that only explodes later,
+deep inside a handler on some other peer.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ class QueryIndexMessage(Message):
     """
 
     type: ClassVar[str] = "query"
-    query: "JoinQuery" = None  # type: ignore[assignment]
+    query: "JoinQuery"
     index_side: str = "left"
     #: The identifier this copy was addressed to (one per replica);
     #: stored with the query so key handoff on churn can find it.
@@ -59,8 +66,8 @@ class ALIndexMessage(Message):
     """``al-index(t, A)`` — tuple arriving at the attribute level."""
 
     type: ClassVar[str] = "al-index"
-    tuple: "DataTuple" = None  # type: ignore[assignment]
-    index_attribute: str = ""
+    tuple: "DataTuple"
+    index_attribute: str
     #: True when the tuple is republished during crash recovery: the
     #: rewriter then skips arrival-rate accounting and bypasses the
     #: DAI-T never-resend memory so lost evaluator state is rebuilt.
@@ -72,8 +79,8 @@ class VLIndexMessage(Message):
     """``vl-index(t, A)`` — tuple arriving at the value level."""
 
     type: ClassVar[str] = "vl-index"
-    tuple: "DataTuple" = None  # type: ignore[assignment]
-    index_attribute: str = ""
+    tuple: "DataTuple"
+    index_attribute: str
     #: True for crash-recovery republication: evaluators skip storing
     #: tuples they already hold (matching still runs).
     refresh: bool = False

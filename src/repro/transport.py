@@ -1,0 +1,82 @@
+"""The Transport seam: one message-passing interface, two substrates.
+
+The query-processing algorithms (Chapter 4) are specified purely in
+terms of the extended Chord API of Section 2.3 — ``send(msg, I)``,
+``multisend(msg/M, L)`` plus one-hop IP delivery for notifications —
+and never care *how* a message reaches ``Successor(I)``.  This module
+pins that contract down as an abstract :class:`Transport` so the engine
+and the core algorithms run unchanged over either substrate:
+
+* :class:`~repro.chord.routing.Router` — the discrete-event simulator's
+  implementation: routing and delivery are synchronous in-process
+  calls, every finger-table step is billed as one overlay hop, and the
+  optional :class:`~repro.faults.injector.FaultInjector` perturbs the
+  final delivery;
+* :class:`~repro.net.peer.SocketTransport` — the live implementation:
+  the same greedy finger-table forwarding, but every hop is a framed,
+  codec-encoded message over a real asyncio TCP connection between
+  peer servers (see :mod:`repro.net`).
+
+Algorithms obtain the active transport through
+``engine.transport`` (which resolves to ``network.transport``); a
+:class:`~repro.chord.network.ChordNetwork` starts out with its router
+installed, and :meth:`ChordNetwork.use_transport` swaps in a live one.
+
+Contract notes (normative for implementations):
+
+* ``send`` delivers to ``Successor(ident)`` and returns the recipient
+  node; on a stable ring that is the oracle successor.
+* ``send_direct`` models one point-to-point IP message to a node whose
+  address is already known (notification delivery, JFRT hits); it
+  costs one hop (zero when ``source is target``) and is never routed.
+* ``multisend`` accepts one message for all identifiers or one message
+  per identifier, and returns the recipient per identifier in input
+  order.  The recursive variant sweeps the ring clockwise once.
+* ``lookup`` resolves ``Successor(ident)`` *without* delivering
+  anything, billing its hops to ``account`` (rate probes, §4.3.6).
+* Messages must stay semantically immutable in transit: a transport
+  may serialize and reconstruct them (the socket transport does), so
+  handlers cannot rely on object identity with the sender's copy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chord.node import ChordNode
+    from .sim.messages import Message
+
+
+class Transport(ABC):
+    """Abstract message transport implementing the Section 2.3 API."""
+
+    @abstractmethod
+    def send(
+        self, source: "ChordNode", message: "Message", ident: int
+    ) -> "ChordNode":
+        """Deliver ``message`` to ``Successor(ident)``; return the recipient."""
+
+    @abstractmethod
+    def send_direct(
+        self, source: "ChordNode", message: "Message", target: "ChordNode"
+    ) -> None:
+        """One-hop delivery to a node whose address is already known."""
+
+    @abstractmethod
+    def multisend(
+        self,
+        source: "ChordNode",
+        messages: "Sequence[Message] | Message",
+        idents: Sequence[int],
+        *,
+        recursive: bool = True,
+    ) -> list["ChordNode"]:
+        """Deliver ``messages[j]`` to ``Successor(idents[j])`` for all j."""
+
+    @abstractmethod
+    def lookup(
+        self, origin: "ChordNode", ident: int, *, account: str = "lookup"
+    ) -> "ChordNode":
+        """Resolve ``Successor(ident)`` without delivering a message."""

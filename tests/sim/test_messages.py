@@ -11,6 +11,13 @@ from repro.sim.messages import (
     UnsubscribeMessage,
     VLIndexMessage,
 )
+from repro.sql.parser import parse_query
+from repro.sql.schema import Relation
+from repro.sql.tuples import DataTuple
+
+RELATION = Relation("R", ("A", "B"))
+TUPLE = DataTuple.make(RELATION, {"A": 1, "B": 2})
+QUERY = parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.D")
 
 
 class TestMessageTypes:
@@ -30,7 +37,7 @@ class TestMessageTypes:
         assert len(tags) == 7
 
     def test_messages_frozen(self):
-        message = ALIndexMessage(tuple=None, index_attribute="B")
+        message = ALIndexMessage(tuple=TUPLE, index_attribute="B")
         with pytest.raises(AttributeError):
             message.index_attribute = "C"
 
@@ -40,8 +47,17 @@ class TestMessageTypes:
         assert message.projections == ()
 
     def test_query_message_carries_routing_ident(self):
-        message = QueryIndexMessage(query=None, index_side="left", routing_ident=42)
+        message = QueryIndexMessage(query=QUERY, index_side="left", routing_ident=42)
         assert message.routing_ident == 42
+
+    def test_payload_fields_are_required(self):
+        """No half-initialized messages: payloads have no default."""
+        with pytest.raises(TypeError):
+            QueryIndexMessage()
+        with pytest.raises(TypeError):
+            ALIndexMessage(index_attribute="B")
+        with pytest.raises(TypeError):
+            VLIndexMessage(tuple=TUPLE)
 
     def test_notification_message_batches(self):
         message = NotificationMessage(notifications=("a", "b"), subscriber_ident=7)

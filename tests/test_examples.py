@@ -73,3 +73,13 @@ class TestExamples:
         assert "pipeline installed" in output
         assert "stage 2" in output
         assert "assignments found" in output
+
+    def test_live_cluster_shrunk(self, capsys):
+        module = load_example("live_cluster")
+        module.N_NODES = 4
+        module.N_QUERIES = 5
+        module.N_TUPLES = 20
+        module.main()
+        output = capsys.readouterr().out
+        assert "on the wire" in output
+        assert "delivered identical notification sets" in output
