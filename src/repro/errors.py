@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from asyncio import TimeoutError as _AsyncioTimeoutError
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -33,6 +35,40 @@ class CodecError(ReproError):
     Raised for unserializable payloads, truncated or corrupt frames,
     and frames carrying an unsupported protocol version.
     """
+
+
+class QuiesceTimeout(NetworkError, _AsyncioTimeoutError):
+    """A live cluster failed to reach quiescence within its deadline.
+
+    Subclasses :class:`asyncio.TimeoutError` so callers that waited for
+    the in-flight counter with ``asyncio.wait_for`` semantics keep
+    working, but carries a diagnostic breakdown of what is still
+    outstanding: in-flight delivery counts per message label, and the
+    per-peer outbound queue depths at the moment the wait gave up.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        pending: dict[str, int],
+        queues: dict[int, int] | None = None,
+    ):
+        self.timeout = timeout
+        self.pending = dict(pending)
+        self.queues = dict(queues) if queues else {}
+        total = sum(self.pending.values())
+        labels = ", ".join(
+            f"{label}={count}" for label, count in sorted(self.pending.items())
+        ) or "none"
+        detail = f"cluster failed to quiesce within {timeout}s; {total} " \
+                 f"deliveries still in flight (by label: {labels})"
+        if self.queues:
+            depths = ", ".join(
+                f"peer {ident}: {depth} queued"
+                for ident, depth in sorted(self.queues.items())
+            )
+            detail += f"; outbound queues: {depths}"
+        super().__init__(detail)
 
 
 class DeliveryError(NetworkError):

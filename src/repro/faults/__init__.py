@@ -9,7 +9,7 @@ leases → flush) that restores oracle-exact answer sets after crashes.
 """
 
 from .injector import DeferredDelivery, FaultInjector
-from .plan import DelaySpec, FaultPlan
+from .plan import DelaySpec, FaultPlan, NetFaultSpec
 from .recovery import ChaosHarness
 from .schedule import install_fault_plan
 
@@ -19,5 +19,6 @@ __all__ = [
     "DelaySpec",
     "FaultInjector",
     "FaultPlan",
+    "NetFaultSpec",
     "install_fault_plan",
 ]

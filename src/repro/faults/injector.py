@@ -105,9 +105,50 @@ class FaultInjector:
 
     def note_backoff(self, attempt: int) -> float:
         """Record the logical backoff before retry ``attempt``."""
-        pause = self.plan.backoff_base * (2 ** (attempt - 1))
+        pause = self.jittered(self.plan.backoff_base * (2 ** (attempt - 1)))
         self.backoff_total += pause
         return pause
+
+    def jittered(self, pause: float) -> float:
+        """Scale a backoff pause by the plan's jitter factor.
+
+        Jitter-free plans take no RNG draw, so their backoff shape (and
+        every downstream fault decision) is byte-identical to pre-jitter
+        behaviour.  With jitter, synchronized retries — e.g. every peer
+        retrying the instant a partition heals — spread out over
+        ``[pause, pause * (1 + jitter)]`` while staying reproducible
+        from the plan seed.
+        """
+        jitter = self.plan.backoff_jitter
+        if jitter <= 0.0 or pause <= 0.0:
+            return pause
+        return pause * (1.0 + self.rng.random() * jitter)
+
+    # ------------------------------------------------------------------
+    # Wire-level (live TCP) decisions — see repro.net.chaos
+    # ------------------------------------------------------------------
+    _FRAME_FAULTS = ("reset", "truncate", "garble")
+
+    def should_refuse_connection(self) -> bool:
+        """Decide whether one TCP connection attempt is refused."""
+        probability = self.plan.net.connect_refusal_probability
+        if probability <= 0.0:
+            return False
+        return self.rng.random() < probability
+
+    def sample_frame_fault(self) -> Optional[str]:
+        """Fault kind for one frame-write attempt, or ``None``.
+
+        Returns one of ``"reset"`` (connection torn down before the
+        write), ``"truncate"`` (a partial frame hits the wire, then the
+        connection is aborted) or ``"garble"`` (a complete frame with a
+        corrupted payload hits the wire).  All three are decided before
+        the clean bytes are sent, so the attempt can safely be retried.
+        """
+        probability = self.plan.net.frame_fault_probability
+        if probability <= 0.0 or self.rng.random() >= probability:
+            return None
+        return self._FRAME_FAULTS[self.rng.randrange(len(self._FRAME_FAULTS))]
 
     # ------------------------------------------------------------------
     # Deferred (delayed) deliveries

@@ -45,6 +45,46 @@ class DelaySpec:
 
 
 @dataclass(frozen=True)
+class NetFaultSpec:
+    """Wire-level fault knobs of the live (TCP) chaos layer.
+
+    These only matter to :class:`repro.net.chaos.LiveChaos`; the
+    simulator never consults them.  All faults are injected on the
+    *send* side, before any bytes of the affected attempt reach the
+    wire, so a faulted attempt is never partially delivered — the
+    retry loop can re-send it without risking duplicate delivery.
+
+    Parameters
+    ----------
+    connect_refusal_probability:
+        Chance that one connection attempt is refused (the live
+        analogue of a SYN to a dead or firewalled port).
+    frame_fault_probability:
+        Chance that one frame-write attempt is faulted.  A faulted
+        write is a connection reset, a truncated frame, or a garbled
+        frame (chosen uniformly): resets and truncations exercise the
+        reconnect path, garbles exercise the receiver's mid-stream
+        :class:`~repro.errors.CodecError` teardown.
+    """
+
+    connect_refusal_probability: float = 0.0
+    frame_fault_probability: float = 0.0
+
+    def __post_init__(self):
+        for name in ("connect_refusal_probability", "frame_fault_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.connect_refusal_probability == 0.0
+            and self.frame_fault_probability == 0.0
+        )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Every fault knob of one chaos run, in one seedable record.
 
@@ -76,6 +116,16 @@ class FaultPlan:
         Logical backoff after attempt ``k`` is ``backoff_base * 2**k``
         (recorded, and respected as extra delay when deliveries are
         deferred through a simulator).
+    backoff_jitter:
+        Randomize each backoff pause by a factor drawn uniformly from
+        ``[1, 1 + backoff_jitter]``.  Desynchronizes retries after a
+        partition heals (no thundering herd); 0 keeps the exact
+        deterministic backoff shape of a jitter-free plan.  Jitter
+        draws come from the injector's private RNG, so jittered runs
+        stay reproducible from the plan seed.
+    net:
+        Wire-level fault knobs for the live TCP chaos layer (see
+        :class:`NetFaultSpec`); ignored by the simulator.
     seed:
         Seed of the injector's private RNG; fault decisions never touch
         workload or engine RNG streams, so runs are reproducible.
@@ -89,6 +139,8 @@ class FaultPlan:
     lease_refresh_every: float = 0.0
     max_attempts: int = 8
     backoff_base: float = 0.05
+    backoff_jitter: float = 0.0
+    net: NetFaultSpec = field(default_factory=NetFaultSpec)
     seed: int = 0
 
     def __post_init__(self):
@@ -100,6 +152,8 @@ class FaultPlan:
             raise ValueError("crash/restart periods must be non-negative")
         if self.backoff_base < 0:
             raise ValueError("backoff_base must be non-negative")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
 
     # ------------------------------------------------------------------
     @property
@@ -113,6 +167,16 @@ class FaultPlan:
         return self.crash_every > 0.0
 
     @property
+    def perturbs_wire(self) -> bool:
+        """True when the live chaos layer must fault connections/frames."""
+        return not self.net.is_noop
+
+    @property
     def is_noop(self) -> bool:
         """An empty plan changes nothing about a run."""
-        return not self.perturbs_delivery and not self.schedules_churn
+        return (
+            not self.perturbs_delivery
+            and not self.schedules_churn
+            and not self.perturbs_wire
+            and self.backoff_jitter == 0.0
+        )

@@ -60,19 +60,39 @@ class ChaosHarness:
         """Exempt ``node`` from random crash selection."""
         self.protected.add(node.ident)
 
+    def choose_victim(self, rng=None) -> Optional["ChordNode"]:
+        """A random live, unprotected crash candidate (or ``None``).
+
+        Uses the injector's RNG unless ``rng`` is given — the live
+        chaos controller passes its own seeded stream so victim
+        selection stays deterministic even though wire-level fault
+        draws happen in event-loop order.
+        """
+        victims = [
+            n for n in self.network.nodes if n.ident not in self.protected
+        ]
+        if len(self.network) <= 1 or not victims:
+            return None
+        chooser = rng if rng is not None else self.injector.rng
+        return victims[chooser.randrange(len(victims))]
+
     def crash(self, node: Optional["ChordNode"] = None) -> Optional["ChordNode"]:
         """Crash ``node`` (or a random unprotected victim); repair ring.
 
         Returns the victim, or ``None`` when no node may be crashed
         (everything is protected or the ring would become empty).
+
+        This is the *ring-side* half of a crash (membership, finger
+        repair, key-range inheritance); over the live transport,
+        :class:`repro.net.chaos.ChaosController` pairs it with the
+        socket-side half — aborting the victim's
+        :class:`~repro.net.peer.NetPeer` and settling the in-flight
+        deliveries its crash destroys.
         """
         if node is None:
-            victims = [
-                n for n in self.network.nodes if n.ident not in self.protected
-            ]
-            if len(self.network) <= 1 or not victims:
+            node = self.choose_victim()
+            if node is None:
                 return None
-            node = victims[self.injector.rng.randrange(len(victims))]
         self.network.fail(node)
         self.injector.crashes += 1
         self.crashed_keys.append(node.key)
@@ -92,6 +112,16 @@ class ChaosHarness:
         self.injector.restarts += 1
         self.network.run_stabilization(1, fix_all_fingers=True)
         return node
+
+    def restart_all(self) -> list["ChordNode"]:
+        """Rejoin every crashed node, oldest first; returns the rejoiners."""
+        restarted = []
+        while self.crashed_keys:
+            node = self.restart()
+            if node is None:  # pragma: no cover - defensive
+                break
+            restarted.append(node)
+        return restarted
 
     # ------------------------------------------------------------------
     def settle(self, *, stabilization_rounds: int = 2) -> dict[str, int]:

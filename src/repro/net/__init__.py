@@ -9,10 +9,16 @@ sockets.  The pieces:
 * :mod:`repro.net.frames` — routing envelopes and the bootstrap/join
   control frames exchanged between peers;
 * :mod:`repro.net.peer` — one asyncio peer per overlay node: TCP
-  server, pooled outbound connections, timeouts and retry/backoff;
+  server, pooled outbound connections, timeouts, retry/backoff with
+  successor fallback, and the bounded in-flight credit ledger;
+* :mod:`repro.net.health` — heartbeat failure detection: suspect silent
+  peers, route around them, probe until they return;
+* :mod:`repro.net.chaos` — seeded TCP-level fault injection (resets,
+  refusals, truncation/garbling, partitions, live crash/restart) and
+  the soak that proves exactly-once delivery under all of it;
 * :mod:`repro.net.cluster` — spin up an N-node localhost ring, drive a
   workload through it and compare against the simulator oracle
-  (``python -m repro.net.cluster``).
+  (``python -m repro.net.cluster``, ``--chaos`` for the fault soak).
 
 The seam that makes this possible is :class:`repro.transport.Transport`:
 the engine sends through ``engine.transport`` and never notices whether

@@ -22,6 +22,12 @@ gate, runnable from the command line::
         --queries 30 --tuples 120 --compare-sim
 
 which exits non-zero if the live digest differs from the simulator's.
+
+With ``--chaos`` the same command runs the fault-tolerance soak
+instead (:mod:`repro.net.chaos`): seeded connection faults, one
+partition episode and live crash/restarts are injected while the
+workload replays, and the run must still converge to the fault-free
+simulator digest with zero duplicate notifications.
 """
 
 from __future__ import annotations
@@ -36,12 +42,13 @@ from typing import Optional
 
 from ..chord.network import ChordNetwork
 from ..core.engine import ContinuousQueryEngine, EngineConfig
-from ..errors import NetworkError
+from ..errors import NetworkError, QuiesceTimeout
 from ..perf import PERF
 from ..sim.stats import TrafficSnapshot, TrafficStats
 from ..workload.generator import Workload, WorkloadParams, build_workload
-from .codec import HEADER_SIZE, decode, decode_header, encode_frame
-from .frames import JoinReply, JoinRequest
+from .codec import encode_frame, read_frame
+from .frames import JoinReply, JoinRequest, MultiFrame, RouteFrame
+from .health import HealthConfig
 from .peer import InFlight, NetConfig, NetPeer, SocketTransport
 
 
@@ -60,6 +67,8 @@ class ClusterConfig:
     #: replication_factor, ...).
     engine_overrides: dict = field(default_factory=dict)
     net: NetConfig = field(default_factory=NetConfig)
+    #: When set, every peer runs a heartbeat failure detector.
+    health: Optional[HealthConfig] = None
 
 
 @dataclass
@@ -76,6 +85,10 @@ class LiveReport:
     frames_sent: int
     bytes_sent: int
     perf: dict
+    peak_in_flight: int = 0
+    credit_budget: Optional[int] = None
+    frames_shed: int = 0
+    chaos: Optional[dict] = None
 
     def summary(self) -> str:
         return (
@@ -104,11 +117,24 @@ class LiveCluster:
         )
         self.net_config = self.config.net
         self.stats = TrafficStats()
-        self.in_flight = InFlight()
+        self.in_flight = InFlight(budget=self.net_config.credit_budget)
         self.transport = SocketTransport(self)
         self.max_hops = self.network.router.max_hops
         self.peers: dict[int, NetPeer] = {}
         self.errors: list[Exception] = []
+        #: Failures a *tolerant* drain absorbed instead of raising
+        #: (chaos runs); inspectable after the fact.
+        self.fault_log: list[Exception] = []
+        #: Overlay identifiers of currently-crashed nodes; outbound
+        #: writes toward them fail fast instead of timing out.
+        self.dead: set[int] = set()
+        #: Installed :class:`~repro.net.chaos.LiveChaos`, or ``None``.
+        self.chaos = None
+        self.crash_frame_losses = 0
+        self.frames_written_off = 0
+        self.codec_faults = 0
+        self.stream_breaks = 0
+        self._jitter_rng = random.Random(self.config.seed ^ 0x5EED)
         self._previous_transport = None
 
     # ------------------------------------------------------------------
@@ -117,15 +143,108 @@ class LiveCluster:
     def peer_for(self, node) -> NetPeer:
         return self.peers[node.ident]
 
-    def frame_failed(self, exc: Exception, weight: int) -> None:
+    def is_dead(self, ident: int) -> bool:
+        return ident in self.dead
+
+    def jittered(self, pause: float) -> float:
+        """Stretch a retry pause by the configured jitter (seeded).
+
+        With chaos installed the draw comes from the fault plan's own
+        injector RNG (the satellite-1 contract: jitter is part of the
+        seeded fault plan); otherwise from a cluster RNG derived from
+        the run seed.  Zero jitter takes no draw at all, so the
+        deterministic legacy backoff sequence is bit-identical.
+        """
+        if self.chaos is not None:
+            return self.chaos.injector.jittered(pause)
+        jitter = self.net_config.backoff_jitter
+        if jitter <= 0.0 or pause <= 0.0:
+            return pause
+        return pause * (1.0 + self._jitter_rng.random() * jitter)
+
+    def frame_failed(self, exc: Exception, labels) -> None:
         """A frame was lost for good; settle its deliveries and record."""
         self.errors.append(exc)
-        self.stats.record_drop(getattr(exc, "message_type", "frame"))
-        if weight:
-            self.in_flight.dec(weight)
+        self.stats.record_drop(
+            getattr(exc, "message_type", labels[0] if labels else "frame")
+        )
+        for label in labels:
+            self.in_flight.dec(label)
+
+    def frame_lost(self, reason: str, labels) -> None:
+        """A frame died *with* a crashed node — expected, not an error.
+
+        Settles the in-flight credits so the cluster can quiesce; the
+        lease refresh re-creates whatever the frame would have built.
+        Unlike :meth:`frame_failed` this does not append to ``errors``:
+        a crash announced through the chaos controller is part of the
+        experiment, and tolerating it must not mask real failures.
+        """
+        self.stats.record_drop(labels[0] if labels else "frame")
+        for label in labels:
+            self.in_flight.dec(label)
+        self.crash_frame_losses += 1
 
     def handler_failed(self, exc: Exception) -> None:
         self.errors.append(exc)
+
+    def note_codec_fault(self, exc: Exception) -> None:
+        """Corrupt bytes arrived on a connection (it was aborted)."""
+        self.codec_faults += 1
+        if self.chaos is None:
+            # Without chaos installed nothing should ever garble a
+            # frame; surface it on the next drain.
+            self.errors.append(exc)
+
+    def note_stream_break(self, exc: Exception) -> None:
+        """A connection died mid-frame (truncation or peer crash)."""
+        self.stream_breaks += 1
+        if self.chaos is None:
+            self.errors.append(exc)
+
+    def fallback_ident(self, frame, failed_ident: int) -> Optional[int]:
+        """Where a retry-exhausted routed frame should go instead.
+
+        Mirrors the simulator Router's successor fallback: if the
+        target is gone from the ring (crashed), the node now
+        responsible for the frame's routing identifier owns its keys;
+        if the target is still a ring member (mere unreachability,
+        e.g. an asymmetric partition), its first live successor acts
+        as a relay that can usually still reach it.  Direct and
+        control frames have no overlay fallback — their state comes
+        back through the lease refresh.
+        """
+        kind = type(frame)
+        if kind is RouteFrame:
+            route_ident = frame.target_ident
+        elif kind is MultiFrame:
+            route_ident = frame.pairs[0][0]
+        else:
+            return None
+        try:
+            node = self.network.node_at(failed_ident)
+        except KeyError:
+            node = None
+        if node is None or not node.alive:
+            owner = self.network.responsible_node(route_ident)
+            return owner.ident if owner.ident != failed_ident else None
+        for candidate in node.successor_list:
+            if candidate.alive and candidate.ident != failed_ident:
+                if self.is_dead(candidate.ident):
+                    continue
+                return candidate.ident
+        return None
+
+    def install_chaos(self, chaos) -> None:
+        """Attach a :class:`~repro.net.chaos.LiveChaos` wire-fault layer.
+
+        Must happen before :meth:`start`.  Also relaxes the in-flight
+        ledger (``allow_slack``): a node crash can settle a frame as
+        lost in the same instant its sender's write completes, and that
+        benign double-settlement must not abort the experiment.
+        """
+        self.chaos = chaos
+        self.in_flight.allow_slack = True
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -149,6 +268,9 @@ class LiveCluster:
                     f"{len(peer.book)}/{expected} addresses"
                 )
         self._previous_transport = self.network.use_transport(self.transport)
+        if self.config.health is not None:
+            for peer in self.peers.values():
+                peer.enable_health(self.config.health)
 
     async def _join_via(self, peer: NetPeer, bootstrap) -> None:
         """One joiner's handshake: JoinRequest over TCP, JoinReply back."""
@@ -160,13 +282,7 @@ class LiveCluster:
         try:
             writer.write(encode_frame(JoinRequest(info=peer.info)))
             await asyncio.wait_for(writer.drain(), net.io_timeout)
-            header = await asyncio.wait_for(
-                reader.readexactly(HEADER_SIZE), net.io_timeout
-            )
-            payload = await asyncio.wait_for(
-                reader.readexactly(decode_header(header)), net.io_timeout
-            )
-            reply = decode(payload)
+            reply = await read_frame(reader, timeout=net.io_timeout)
         finally:
             writer.close()
             try:
@@ -181,6 +297,49 @@ class LiveCluster:
         for info in reply.members:
             peer.book.setdefault(info.ident, info)
 
+    async def crash_peer(self, node) -> Optional[NetPeer]:
+        """Socket-side crash of ``node``: freeze, unpool, settle, hang up.
+
+        The ring-side half (``network.fail`` + stabilization + key
+        inheritance) is :meth:`repro.faults.recovery.ChaosHarness.crash`;
+        the live chaos controller sequences the two.  Callers that
+        crash a node directly (tests) must repair the ring themselves.
+        """
+        peer = self.peers.pop(node.ident, None)
+        if peer is None:
+            return None
+        self.dead.add(node.ident)
+        peer.freeze()
+        await peer.abort()
+        return peer
+
+    async def restart_peer(self, node) -> NetPeer:
+        """Socket-side restart: new server (new port), fresh bootstrap.
+
+        ``node`` must already be back in the ring (``ChaosHarness.
+        restart``).  The join handshake runs against any live peer;
+        its MemberUpdate fan-out overwrites the dead address in every
+        book, and stale pooled connections are reset on receipt.
+        """
+        self.dead.discard(node.ident)
+        peer = NetPeer(node, self)
+        self.peers[node.ident] = peer
+        await peer.start(self.config.host)
+        bootstrap = next(
+            (
+                existing
+                for ident, existing in self.peers.items()
+                if ident != node.ident and not existing.crashed
+            ),
+            None,
+        )
+        if bootstrap is None:  # pragma: no cover - defensive
+            raise NetworkError("no live peer to bootstrap a restart from")
+        await self._join_via(peer, bootstrap.info)
+        if self.config.health is not None:
+            peer.enable_health(self.config.health)
+        return peer
+
     async def stop(self) -> None:
         """Close every peer; restore the simulator transport."""
         if self._previous_transport is not None:
@@ -192,17 +351,40 @@ class LiveCluster:
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
-    async def drain(self) -> None:
-        """Wait until every posted delivery has been handled."""
+    async def drain(self, *, tolerate_failures: bool = False) -> None:
+        """Wait until every posted delivery has been handled.
+
+        ``tolerate_failures`` is the chaos mode: a quiesce timeout
+        writes the leaked credits off (arming matching debt) instead of
+        raising, and collected delivery failures move to ``fault_log``
+        instead of aborting the run — the lease refresh is responsible
+        for healing whatever they broke.
+        """
         try:
             await self.in_flight.wait_zero(self.config.quiesce_timeout)
-        except asyncio.TimeoutError:
-            raise NetworkError(
-                f"cluster failed to quiesce within "
-                f"{self.config.quiesce_timeout}s; {self.in_flight.count} "
-                f"deliveries still in flight"
-            ) from None
+        except QuiesceTimeout as exc:
+            queues = {
+                peer.node.ident: sum(
+                    outbox.depth for outbox in peer._outboxes.values()
+                )
+                for peer in self.peers.values()
+            }
+            enriched = QuiesceTimeout(
+                self.config.quiesce_timeout,
+                exc.pending,
+                {ident: depth for ident, depth in queues.items() if depth},
+            )
+            if not tolerate_failures:
+                raise enriched from None
+            self.fault_log.append(enriched)
+            self.frames_written_off += sum(
+                self.in_flight.write_off().values()
+            )
         if self.errors:
+            if tolerate_failures:
+                self.fault_log.extend(self.errors)
+                self.errors.clear()
+                return
             first = self.errors[0]
             raise NetworkError(
                 f"{len(self.errors)} delivery/handler failure(s); "
@@ -215,6 +397,7 @@ class LiveCluster:
         rng = random.Random(self.config.seed)
         events_since_evict = 0
         for event in workload:
+            await self.in_flight.wait_below_budget(self.config.quiesce_timeout)
             engine.clock.advance_to(event.time)
             origin = self.network.random_node(rng)
             if event.kind == "query":
@@ -251,6 +434,10 @@ class LiveCluster:
             frames_sent=sum(peer.frames_sent for peer in self.peers.values()),
             bytes_sent=sum(peer.bytes_sent for peer in self.peers.values()),
             perf=PERF.snapshot(),
+            peak_in_flight=self.in_flight.peak,
+            credit_budget=self.in_flight.budget,
+            frames_shed=sum(peer.frames_shed for peer in self.peers.values()),
+            chaos=self.chaos.snapshot() if self.chaos is not None else None,
         )
 
 
@@ -303,6 +490,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--domain-size", type=int, default=40)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="run the fault-tolerance soak instead: inject seeded "
+        "connection faults, a partition episode and live "
+        "crash/restarts while the workload replays.  SPEC is "
+        "'default' or comma-separated key=value pairs "
+        "(frame=0.05,connect=0.05,crashes=2,partition=1,seed=17,"
+        "attempts=4,backoff=0.02,jitter=0.5,subscribers=2)",
+    )
+    parser.add_argument(
         "--compare-sim",
         action="store_true",
         help="also replay the workload in the simulator and fail unless "
@@ -312,6 +510,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--json", action="store_true", help="emit the report as JSON"
     )
     args = parser.parse_args(argv)
+
+    if args.chaos is not None:
+        from .chaos import run_soak_cli
+
+        return run_soak_cli(args)
 
     workload = build_workload(
         WorkloadParams(
@@ -341,6 +544,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         "bytes_sent": report.bytes_sent,
         "overlay_hops": report.traffic.hops,
         "messages": report.traffic.messages,
+        "peak_in_flight": report.peak_in_flight,
+        "credit_budget": report.credit_budget,
         "perf": report.perf,
     }
 

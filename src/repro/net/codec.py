@@ -45,6 +45,7 @@ Python-specific caveats handled here:
 
 from __future__ import annotations
 
+import asyncio
 import struct
 from typing import Any, Callable, Optional
 
@@ -496,6 +497,32 @@ def decode_header(header: bytes) -> int:
     if length > MAX_PAYLOAD:
         raise CodecError(f"frame length {length} exceeds MAX_PAYLOAD")
     return length
+
+
+async def read_frame(reader, *, timeout: Optional[float] = None) -> Any:
+    """Read and decode exactly one frame from an asyncio stream reader.
+
+    The single hardened entry point for streaming reads: a clean EOF at
+    a frame boundary surfaces as :class:`EOFError`; a connection that
+    dies mid-frame surfaces as ``asyncio.IncompleteReadError``; corrupt
+    bytes (bad magic/version/length, undecodable payload) surface as
+    :class:`~repro.errors.CodecError`.  Callers must treat ``CodecError``
+    as fatal for the *connection* — the stream position is unknown after
+    corrupt bytes, so the only safe recovery is to drop the connection
+    and let the sender's retry path re-establish it.
+    """
+    try:
+        header = await asyncio.wait_for(
+            reader.readexactly(HEADER_SIZE), timeout
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed at a frame boundary") from None
+        raise
+    payload = await asyncio.wait_for(
+        reader.readexactly(decode_header(header)), timeout
+    )
+    return decode(payload)
 
 
 def decode_frame(data: bytes) -> tuple[Any, int]:

@@ -39,6 +39,7 @@ TAG_DIRECT_FRAME = 0x33
 TAG_JOIN_REQUEST = 0x34
 TAG_JOIN_REPLY = 0x35
 TAG_MEMBER_UPDATE = 0x36
+TAG_HEARTBEAT = 0x37
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,9 +97,29 @@ class JoinReply:
 
 @dataclass(frozen=True, slots=True)
 class MemberUpdate:
-    """Membership broadcast keeping older peers' address books current."""
+    """Membership broadcast keeping older peers' address books current.
+
+    Entries *overwrite* stale address-book rows: a node that crashed
+    and rejoined (possibly on a new port) announces its new socket
+    address through the bootstrap peer's fan-out, and every receiver
+    must prefer the fresh address over the dead one.
+    """
 
     members: tuple[PeerInfo, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Liveness beacon for the failure detector (:mod:`repro.net.health`).
+
+    One-way and weightless: heartbeats never enter the in-flight
+    delivery accounting and carry no application payload — receiving
+    one merely proves the *sender* is alive and can reach this peer,
+    which is exactly the asymmetric-partition semantics a detector
+    needs.
+    """
+
+    sender: int
 
 
 register_record(PeerInfo, TAG_PEER_INFO, ("ident", "host", "port"))
@@ -108,3 +129,4 @@ register_record(DirectFrame, TAG_DIRECT_FRAME, ("message",))
 register_record(JoinRequest, TAG_JOIN_REQUEST, ("info",))
 register_record(JoinReply, TAG_JOIN_REPLY, ("members",))
 register_record(MemberUpdate, TAG_MEMBER_UPDATE, ("members",))
+register_record(Heartbeat, TAG_HEARTBEAT, ("sender",))

@@ -37,6 +37,23 @@ Contract notes (normative for implementations):
 * Messages must stay semantically immutable in transit: a transport
   may serialize and reconstruct them (the socket transport does), so
   handlers cannot rely on object identity with the sender's copy.
+
+Failure and backpressure semantics (live transports):
+
+* The send methods are synchronous and cannot raise for asynchronous
+  delivery failure.  A live transport accounts every posted delivery
+  in a cluster-wide in-flight credit ledger and settles it exactly
+  once — on handler completion, on retry exhaustion (a typed
+  :class:`~repro.errors.DeliveryError` surfaces at the next drain), or
+  as an expected casualty of an injected crash.  Work *sources* gate
+  on the ledger's credit budget between events; handler cascades never
+  block on it.
+* Failed attempts are retried with jittered exponential backoff and
+  automatic reconnection; a peer suspected dead by the failure
+  detector is routed around via ring successors until a probe revives
+  it.  Injected wire faults (see :mod:`repro.net.chaos`) are always
+  decided before an attempt's clean bytes are written, so retries can
+  never duplicate a delivery.
 """
 
 from __future__ import annotations

@@ -1,7 +1,7 @@
 """FaultInjector: seeded decisions, backoff accounting, deferred queue."""
 
 from repro import ChordNetwork
-from repro.faults import DelaySpec, FaultInjector, FaultPlan
+from repro.faults import DelaySpec, FaultInjector, FaultPlan, NetFaultSpec
 from repro.sim.messages import Message
 
 
@@ -54,6 +54,70 @@ class TestBackoff:
         assert injector.note_backoff(2) == 0.2
         assert injector.note_backoff(3) == 0.4
         assert abs(injector.backoff_total - 0.7) < 1e-12
+
+    def test_zero_jitter_is_exact_and_draw_free(self):
+        injector = FaultInjector(FaultPlan(backoff_base=0.1))
+        state_before = injector.rng.getstate()
+        assert injector.jittered(0.4) == 0.4
+        # No RNG draw: downstream fault decisions stay byte-identical
+        # to pre-jitter behaviour.
+        assert injector.rng.getstate() == state_before
+
+    def test_jittered_pause_stays_in_bounds(self):
+        plan = FaultPlan(backoff_base=0.1, backoff_jitter=0.5, seed=11)
+        injector = FaultInjector(plan)
+        samples = [injector.jittered(0.2) for _ in range(200)]
+        assert all(0.2 <= s <= 0.2 * 1.5 for s in samples)
+        assert len(set(samples)) > 1  # it actually jitters
+
+    def test_jitter_is_reproducible_from_the_seed(self):
+        plan = FaultPlan(backoff_jitter=0.5, seed=11)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert [a.jittered(1.0) for _ in range(50)] == [
+            b.jittered(1.0) for _ in range(50)
+        ]
+
+
+class TestWireFaultSampling:
+    def test_same_seed_same_fault_sequence(self):
+        plan = FaultPlan(
+            seed=42, net=NetFaultSpec(frame_fault_probability=0.4)
+        )
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert [a.sample_frame_fault() for _ in range(100)] == [
+            b.sample_frame_fault() for _ in range(100)
+        ]
+
+    def test_all_fault_kinds_appear(self):
+        plan = FaultPlan(
+            seed=3, net=NetFaultSpec(frame_fault_probability=0.9)
+        )
+        injector = FaultInjector(plan)
+        kinds = {injector.sample_frame_fault() for _ in range(200)}
+        assert {"reset", "truncate", "garble"} <= kinds
+
+    def test_zero_probability_never_draws(self):
+        injector = FaultInjector(FaultPlan())
+        state_before = injector.rng.getstate()
+        assert all(
+            injector.sample_frame_fault() is None for _ in range(10)
+        )
+        assert not any(
+            injector.should_refuse_connection() for _ in range(10)
+        )
+        assert injector.rng.getstate() == state_before
+
+    def test_refusal_rate_tracks_probability(self):
+        plan = FaultPlan(
+            seed=8, net=NetFaultSpec(connect_refusal_probability=0.3)
+        )
+        injector = FaultInjector(plan)
+        refused = sum(
+            injector.should_refuse_connection() for _ in range(1000)
+        )
+        assert 200 < refused < 400
 
 
 class TestDeferredQueue:

@@ -1,8 +1,8 @@
-"""FaultPlan / DelaySpec: validation and the no-op guarantees."""
+"""FaultPlan / DelaySpec / NetFaultSpec: validation and no-op guarantees."""
 
 import pytest
 
-from repro.faults import DelaySpec, FaultPlan
+from repro.faults import DelaySpec, FaultPlan, NetFaultSpec
 
 
 class TestDelaySpec:
@@ -67,3 +67,43 @@ class TestFaultPlan:
     def test_plan_is_immutable(self):
         with pytest.raises(AttributeError):
             FaultPlan().loss_probability = 0.5
+
+
+class TestNetFaultSpec:
+    def test_defaults_are_noop(self):
+        assert NetFaultSpec().is_noop
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"connect_refusal_probability": 0.1},
+            {"frame_fault_probability": 0.1},
+        ],
+    )
+    def test_any_wire_knob_is_not_noop(self, kwargs):
+        assert not NetFaultSpec(**kwargs).is_noop
+
+    @pytest.mark.parametrize("value", [-0.01, 1.0, 1.5])
+    def test_rejects_bad_probabilities(self, value):
+        with pytest.raises(ValueError):
+            NetFaultSpec(connect_refusal_probability=value)
+        with pytest.raises(ValueError):
+            NetFaultSpec(frame_fault_probability=value)
+
+    def test_wire_faults_perturb_wire_not_delivery(self):
+        plan = FaultPlan(net=NetFaultSpec(frame_fault_probability=0.2))
+        assert plan.perturbs_wire
+        assert not plan.perturbs_delivery
+        assert not plan.schedules_churn
+        assert not plan.is_noop
+
+    def test_jitter_alone_breaks_noop(self):
+        # Jitter changes retry timing even with no injected faults, so a
+        # jittered plan must not be treated as "changes nothing".
+        plan = FaultPlan(backoff_jitter=0.5)
+        assert not plan.is_noop
+        assert not plan.perturbs_wire
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            FaultPlan(backoff_jitter=-0.1)

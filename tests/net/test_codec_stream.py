@@ -1,0 +1,136 @@
+"""Stream-hardening tests: corrupt bytes on a live socket pair.
+
+Satellite of the chaos PR: a mid-stream :class:`~repro.errors.CodecError`
+must close the offending connection (so the sender's retry path dials a
+clean one) instead of leaving the reader task dead with the connection
+still pooled — and the server must keep serving other connections.
+
+Hypothesis feeds truncated and garbled frames into real sockets; the
+cluster under test is deliberately tiny (two nodes) because every
+example spins up live TCP servers.
+"""
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.cluster import ClusterConfig, LiveCluster
+from repro.net.codec import HEADER_SIZE, encode_frame
+from repro.net.frames import DirectFrame
+from repro.net.peer import NetConfig
+from repro.sim.messages import UnsubscribeMessage
+
+STREAM = settings(max_examples=12, deadline=None)
+
+VALID_FRAME = encode_frame(
+    DirectFrame(message=UnsubscribeMessage(query_key="probe"))
+)
+
+
+def make_cluster():
+    return LiveCluster(
+        ClusterConfig(
+            n_nodes=2,
+            quiesce_timeout=5.0,
+            net=NetConfig(connect_timeout=0.5, io_timeout=1.0, backoff_base=0.01),
+        )
+    )
+
+
+async def poke_and_verify(payload: bytes, *, expect_codec_fault: bool):
+    """Write ``payload`` raw to a live peer, then prove the peer still
+    works: the poisoned connection dies, a fresh one delivers."""
+    cluster = make_cluster()
+    await cluster.start()
+    try:
+        received = []
+        for node in cluster.network.nodes:
+            node.register_handler(
+                "unsubscribe",
+                lambda node, message: received.append(message.query_key),
+            )
+        target = next(iter(cluster.peers.values()))
+        info = target.info
+
+        reader, writer = await asyncio.open_connection(info.host, info.port)
+        writer.write(payload)
+        await writer.drain()
+        if expect_codec_fault:
+            # A complete-but-corrupt frame: the server must abort the
+            # connection from its side (we observe EOF).
+            data = await asyncio.wait_for(reader.read(64), 3.0)
+            assert data == b""
+        else:
+            # Mid-frame truncation: close our side; the reader task must
+            # notice and clean up rather than hang.
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+        if expect_codec_fault:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+        # Give the serve task a beat to record the fault.
+        for _ in range(100):
+            if cluster.codec_faults or cluster.stream_breaks:
+                break
+            await asyncio.sleep(0.01)
+        if expect_codec_fault:
+            assert cluster.codec_faults >= 1
+        else:
+            assert cluster.stream_breaks >= 1
+        # Without chaos installed, corruption is surfaced as an error;
+        # acknowledge it so it doesn't fail the next drain.
+        assert cluster.errors
+        cluster.errors.clear()
+
+        # The server survived: a clean connection still delivers.
+        reader2, writer2 = await asyncio.open_connection(info.host, info.port)
+        cluster.in_flight.inc("unsubscribe")
+        writer2.write(VALID_FRAME)
+        await writer2.drain()
+        await cluster.drain()
+        assert received == ["probe"]
+        writer2.close()
+        try:
+            await writer2.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+    finally:
+        cluster.errors.clear()
+        await cluster.stop()
+
+
+class TestGarbledFrames:
+    @STREAM
+    @given(junk=st.binary(min_size=HEADER_SIZE, max_size=64))
+    def test_garbage_bytes_abort_the_connection(self, junk):
+        # Avoid junk that happens to be a valid frame prefix: force a
+        # bad magic so the decode deterministically fails.
+        poisoned = b"XX" + junk[2:]
+        asyncio.run(poke_and_verify(poisoned, expect_codec_fault=True))
+
+    @STREAM
+    @given(cut=st.integers(min_value=1, max_value=len(VALID_FRAME) - 1))
+    def test_corrupted_payload_of_valid_header(self, cut):
+        # Valid header + payload with the tag byte smashed: the server
+        # reads the complete frame and must fail in the decoder.
+        frame = bytearray(VALID_FRAME)
+        frame[HEADER_SIZE] = 0xFF
+        asyncio.run(poke_and_verify(bytes(frame), expect_codec_fault=True))
+
+
+class TestTruncatedFrames:
+    @STREAM
+    @given(
+        cut=st.integers(min_value=HEADER_SIZE + 1, max_value=len(VALID_FRAME) - 1)
+    )
+    def test_mid_frame_eof_breaks_stream_not_server(self, cut):
+        asyncio.run(
+            poke_and_verify(VALID_FRAME[:cut], expect_codec_fault=False)
+        )

@@ -55,13 +55,16 @@ class TestInFlight:
         async def scenario():
             counter = InFlight()
             await counter.wait_zero(0.1)  # immediately zero
-            counter.inc(3)
+            counter.inc("notification", 3)
             assert counter.count == 3
+            assert counter.pending() == {"notification": 3}
             with pytest.raises(asyncio.TimeoutError):
                 await counter.wait_zero(0.01)
-            counter.dec(2)
-            counter.dec()
+            counter.dec("notification", 2)
+            counter.dec("notification")
             await counter.wait_zero(0.1)
+            assert counter.peak == 3
+            assert counter.pending() == {}
 
         asyncio.run(scenario())
 
@@ -70,6 +73,104 @@ class TestInFlight:
             counter = InFlight()
             with pytest.raises(RuntimeError):
                 counter.dec()
+
+        asyncio.run(scenario())
+
+    def test_timeout_diagnostic_names_the_stragglers(self):
+        """Satellite: a quiesce timeout must say *what* is still in
+        flight, not just that something is."""
+
+        async def scenario():
+            from repro.errors import QuiesceTimeout
+
+            counter = InFlight()
+            counter.inc("notification", 2)
+            counter.inc("publish_tuple")
+            with pytest.raises(QuiesceTimeout) as excinfo:
+                await counter.wait_zero(0.01)
+            err = excinfo.value
+            assert err.pending == {"notification": 2, "publish_tuple": 1}
+            assert "notification=2" in str(err)
+            assert "publish_tuple=1" in str(err)
+            assert "3 deliveries still in flight" in str(err)
+            # It is still an asyncio.TimeoutError for wait_for-style
+            # callers.
+            assert isinstance(err, asyncio.TimeoutError)
+
+        asyncio.run(scenario())
+
+    def test_write_off_forgives_and_arms_debt(self):
+        async def scenario():
+            counter = InFlight()
+            counter.inc("notification", 2)
+            written_off = counter.write_off()
+            assert written_off == {"notification": 2}
+            assert counter.count == 0
+            await counter.wait_zero(0.1)
+            # A forgiven delivery that settles late is absorbed by the
+            # debt instead of crashing the ledger...
+            counter.dec("notification", 2)
+            assert counter.count == 0
+            # ...but the debt is finite: a third settlement is still a
+            # real bug in a strict (non-chaos) ledger.
+            with pytest.raises(RuntimeError):
+                counter.dec("notification")
+
+        asyncio.run(scenario())
+
+    def test_slack_mode_absorbs_crash_double_settlement(self):
+        counter = InFlight()
+        counter.allow_slack = True
+        counter.inc("match")
+        counter.dec("match")
+        counter.dec("match")  # crash-path double settlement
+        assert counter.count == 0
+        assert counter.slack_absorbed == 1
+
+    def test_drain_diagnostic_includes_outbox_depths(self):
+        """The cluster drain enriches the timeout with per-peer
+        outbound queue depths."""
+
+        async def scenario():
+            from repro.errors import QuiesceTimeout
+
+            cluster = LiveCluster(
+                ClusterConfig(
+                    n_nodes=2,
+                    quiesce_timeout=0.2,
+                    net=NetConfig(
+                        connect_timeout=1.0,
+                        io_timeout=2.0,
+                        backoff_base=0.5,  # retries outlive the deadline
+                        max_attempts=6,
+                    ),
+                )
+            )
+            await cluster.start()
+            try:
+                peer = next(iter(cluster.peers.values()))
+                other = next(
+                    ident for ident in peer.book if ident != peer.node.ident
+                )
+                await cluster.peers[other].stop_server()
+                peer._outboxes.pop(other, None)
+                cluster.in_flight.inc("unsubscribe")
+                peer.post(
+                    other,
+                    DirectFrame(message=UnsubscribeMessage(query_key="x")),
+                    weight=1,
+                )
+                with pytest.raises(QuiesceTimeout) as excinfo:
+                    await cluster.drain()
+                err = excinfo.value
+                assert err.pending == {"unsubscribe": 1}
+                assert err.queues  # at least the stuck peer's outbox
+                assert "outbound queues" in str(err)
+            finally:
+                cluster.errors.clear()
+                cluster.in_flight.allow_slack = True
+                cluster.in_flight.write_off()
+                await cluster.stop()
 
         asyncio.run(scenario())
 
