@@ -25,6 +25,7 @@ import bench_multisend
 import bench_rewrite
 import bench_routing
 import bench_tables
+import test_codec_encode as bench_codec
 
 SUITES = (
     bench_hashing,
@@ -32,6 +33,7 @@ SUITES = (
     bench_routing,
     bench_multisend,
     bench_rewrite,
+    bench_codec,
 )
 
 

@@ -234,6 +234,48 @@ class ContinuousQueryEngine:
         self.algorithm.index_tuple(self, origin, tup)
         return tup
 
+    def lease_refresh_steps(self):
+        """Yield ``(kind, replay)`` thunks re-asserting all soft state.
+
+        ``kind`` is ``"query"`` or ``"tuple"``; calling ``replay()``
+        re-sends that one item with ``refresh=True``.  The generator is
+        lazy so a live driver can pace the replay against its in-flight
+        budget (firing every step of a large publication log at once
+        overflows send windows); :meth:`refresh_leases` is the one-shot
+        consumer.
+        """
+        for key, query in list(self.queries.items()):
+            origin = self._subscriber_nodes.get(query.subscriber.ident)
+            if origin is None or not origin.alive:
+                origin = self.network.responsible_node(query.subscriber.ident)
+
+            def replay_query(origin=origin, query=query, key=key):
+                self.algorithm.index_query(
+                    self,
+                    origin,
+                    query,
+                    labels=self._query_labels.get(key),
+                    refresh=True,
+                )
+
+            yield "query", replay_query
+        horizon = (
+            None
+            if self.config.window is None
+            else self.clock.now - self.config.window
+        )
+        for tup in self._publications:
+            if horizon is not None and tup.pub_time < horizon:
+                continue
+            origin = self.network.responsible_node(
+                self.network.hash(tup.relation.name)
+            )
+
+            def replay_tuple(origin=origin, tup=tup):
+                self.algorithm.index_tuple(self, origin, tup, refresh=True)
+
+            yield "tuple", replay_tuple
+
     def refresh_leases(self) -> dict[str, int]:
         """Re-assert all soft state (queries as leases, tuples replayed).
 
@@ -246,34 +288,11 @@ class ContinuousQueryEngine:
         notifications re-created along the way are suppressed against
         the subscriber's delivered set.  Returns the renewal counts.
         """
-        queries_renewed = 0
-        for key, query in list(self.queries.items()):
-            origin = self._subscriber_nodes.get(query.subscriber.ident)
-            if origin is None or not origin.alive:
-                origin = self.network.responsible_node(query.subscriber.ident)
-            self.algorithm.index_query(
-                self,
-                origin,
-                query,
-                labels=self._query_labels.get(key),
-                refresh=True,
-            )
-            queries_renewed += 1
-        horizon = (
-            None
-            if self.config.window is None
-            else self.clock.now - self.config.window
-        )
-        tuples_replayed = 0
-        for tup in self._publications:
-            if horizon is not None and tup.pub_time < horizon:
-                continue
-            origin = self.network.responsible_node(
-                self.network.hash(tup.relation.name)
-            )
-            self.algorithm.index_tuple(self, origin, tup, refresh=True)
-            tuples_replayed += 1
-        return {"queries": queries_renewed, "tuples": tuples_replayed}
+        counts = {"queries": 0, "tuples": 0}
+        for kind, replay in self.lease_refresh_steps():
+            replay()
+            counts["queries" if kind == "query" else "tuples"] += 1
+        return counts
 
     def unsubscribe(self, origin: ChordNode, query: JoinQuery) -> None:
         """Best-effort removal of a query from its rewriter(s).

@@ -18,7 +18,13 @@ sockets.  The pieces:
   the soak that proves exactly-once delivery under all of it;
 * :mod:`repro.net.cluster` — spin up an N-node localhost ring, drive a
   workload through it and compare against the simulator oracle
-  (``python -m repro.net.cluster``, ``--chaos`` for the fault soak).
+  (``python -m repro.net.cluster``, ``--chaos`` for the fault soak);
+* :mod:`repro.net.loadgen` — sustained live load generator: pipelined
+  tuple/query streams, notifications/sec and p50/p95/p99 end-to-end
+  latency, and the committed ``BENCH_net_seed.json`` throughput gate
+  (``python -m repro.net.loadgen``);
+* :mod:`repro.net.loop` — optional ``uvloop`` event-loop acceleration
+  behind ``REPRO_NET_UVLOOP`` / ``--uvloop`` with graceful fallback.
 
 The seam that makes this possible is :class:`repro.transport.Transport`:
 the engine sends through ``engine.transport`` and never notices whether
@@ -26,7 +32,15 @@ the implementation is the simulator's :class:`repro.chord.routing.Router`
 or :class:`repro.net.peer.SocketTransport`.
 """
 
-from .codec import PROTOCOL_VERSION, decode, decode_frame, encode, encode_frame
+from .codec import (
+    PROTOCOL_VERSION,
+    decode,
+    decode_frame,
+    encode,
+    encode_frame,
+    encode_frame_into,
+)
+from .loop import maybe_install_uvloop
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -34,4 +48,6 @@ __all__ = [
     "decode_frame",
     "encode",
     "encode_frame",
+    "encode_frame_into",
+    "maybe_install_uvloop",
 ]

@@ -49,7 +49,8 @@ from ..workload.generator import Workload, WorkloadParams, build_workload
 from .codec import encode_frame, read_frame
 from .frames import JoinReply, JoinRequest, MultiFrame, RouteFrame
 from .health import HealthConfig
-from .peer import InFlight, NetConfig, NetPeer, SocketTransport
+from .loop import maybe_install_uvloop
+from .peer import InFlight, NetConfig, NetPeer, SocketTransport, set_nodelay
 
 
 @dataclass
@@ -84,6 +85,7 @@ class LiveReport:
     traffic: TrafficSnapshot
     frames_sent: int
     bytes_sent: int
+    batches_sent: int
     perf: dict
     peak_in_flight: int = 0
     credit_budget: Optional[int] = None
@@ -279,6 +281,7 @@ class LiveCluster:
             asyncio.open_connection(bootstrap.host, bootstrap.port),
             net.connect_timeout,
         )
+        set_nodelay(writer, net.nodelay)
         try:
             writer.write(encode_frame(JoinRequest(info=peer.info)))
             await asyncio.wait_for(writer.drain(), net.io_timeout)
@@ -433,6 +436,9 @@ class LiveCluster:
             traffic=self.stats.snapshot(),
             frames_sent=sum(peer.frames_sent for peer in self.peers.values()),
             bytes_sent=sum(peer.bytes_sent for peer in self.peers.values()),
+            batches_sent=sum(
+                peer.batches_sent for peer in self.peers.values()
+            ),
             perf=PERF.snapshot(),
             peak_in_flight=self.in_flight.peak,
             credit_budget=self.in_flight.budget,
@@ -507,9 +513,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         "the delivered-notification digests match exactly",
     )
     parser.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="use uvloop if installed (falls back to asyncio silently; "
+        "REPRO_NET_UVLOOP=1 has the same effect)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     args = parser.parse_args(argv)
+
+    maybe_install_uvloop(True if args.uvloop else None)
 
     if args.chaos is not None:
         from .chaos import run_soak_cli
@@ -542,6 +556,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "notification_digest": report.notification_digest,
         "frames_sent": report.frames_sent,
         "bytes_sent": report.bytes_sent,
+        "batches_sent": report.batches_sent,
         "overlay_hops": report.traffic.hops,
         "messages": report.traffic.messages,
         "peak_in_flight": report.peak_in_flight,

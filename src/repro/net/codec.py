@@ -46,11 +46,14 @@ Python-specific caveats handled here:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import operator
 import struct
 from typing import Any, Callable, Optional
 
 from ..core.notifications import Notification
 from ..errors import CodecError
+from ..perf import PERF
 from ..sim.messages import (
     ALIndexMessage,
     JoinMessage,
@@ -178,6 +181,17 @@ class _Reader:
         return chunk
 
     def read_uvarint(self) -> int:
+        # Fast path: almost every varint on the wire (collection
+        # lengths, string lengths, small identifiers) fits one byte.
+        data = self.data
+        pos = self.pos
+        try:
+            byte = data[pos]
+        except IndexError:
+            raise CodecError("truncated frame: expected a varint") from None
+        if byte < 0x80:
+            self.pos = pos + 1
+            return byte
         value = 0
         shift = 0
         while True:
@@ -199,6 +213,125 @@ class _Reader:
 _ENCODERS: dict[type, Callable[[bytearray, Any], None]] = {}
 _DECODERS: dict[int, Callable[[_Reader], Any]] = {}
 
+#: Flat dispatch table mirroring ``_DECODERS``: indexing a 256-slot
+#: list by the tag byte beats a dict probe on the hottest call in the
+#: whole receive path (one lookup per decoded value).
+_DECODER_TABLE: list[Optional[Callable[[_Reader], Any]]] = [None] * 256
+
+
+def _set_decoder(tag: int, decoder: Callable[[_Reader], Any]) -> None:
+    _DECODERS[tag] = decoder
+    _DECODER_TABLE[tag] = decoder
+
+
+#: Record tag -> field count, for structural skips that must step over
+#: a record without building it (:func:`skip_value`).
+_ARITY_BY_TAG: dict[int, int] = {}
+
+
+def skip_value(data: bytes, pos: int) -> int:
+    """Advance past one encoded value without materializing it.
+
+    The structural twin of ``_decode_value``: every tag's body length
+    is derivable from the bytes alone (varints self-terminate, blobs
+    carry their length, containers and records their arity), so a
+    relay can locate field boundaries inside a payload it never
+    decodes.  Returns the position just past the value; raises
+    :class:`CodecError` on truncation or an unknown tag.
+
+    Iterative on purpose: skipping never needs the nesting structure,
+    only the total count of values still to step over, so one pending
+    counter replaces recursion (and its per-value call overhead) on
+    what is the hottest loop of the relay path.
+    """
+    size = len(data)
+    arity_by_tag = _ARITY_BY_TAG
+    pending = 1
+    while pending:
+        pending -= 1
+        if pos >= size:
+            raise CodecError("truncated frame: expected a tag byte")
+        tag = data[pos]
+        pos += 1
+        if tag <= _TAG_FALSE:  # none / true / false: the tag is the value
+            continue
+        if tag == _TAG_INT:
+            while True:
+                if pos >= size:
+                    raise CodecError("truncated frame: expected a varint")
+                byte = data[pos]
+                pos += 1
+                if byte < 0x80:
+                    break
+            continue
+        if tag == _TAG_FLOAT:
+            pos += 8
+            if pos > size:
+                raise CodecError("truncated frame: value body cut short")
+            continue
+        if tag == _TAG_STR or tag == _TAG_BYTES:
+            length = 0
+            shift = 0
+            while True:
+                if pos >= size:
+                    raise CodecError("truncated frame: expected a varint")
+                byte = data[pos]
+                pos += 1
+                length |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+            pos += length
+            if pos > size:
+                raise CodecError("truncated frame: value body cut short")
+            continue
+        if tag == _TAG_TUPLE or tag == _TAG_LIST or tag == _TAG_DICT:
+            count = 0
+            shift = 0
+            while True:
+                if pos >= size:
+                    raise CodecError("truncated frame: expected a varint")
+                byte = data[pos]
+                pos += 1
+                count |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+            pending += count * 2 if tag == _TAG_DICT else count
+            continue
+        arity = arity_by_tag.get(tag, -1)
+        if arity < 0:
+            raise CodecError(f"unknown value tag 0x{tag:02X}")
+        pending += arity
+    return pos
+
+# Encode-side memoization (wire bytes are identical with or without it).
+#
+# Small values recur constantly on the hot path — relation and
+# attribute names, message-type strings, query keys, Chord identifiers
+# in a narrow band, tuple values from a bounded Zipf domain — so their
+# fully-encoded forms (tag + varint length + body) are cached and
+# appended with one ``bytearray.__iadd__`` instead of re-deriving them
+# per frame.  Both caches are bounded: the int table is precomputed for
+# the densest band, the string memo stops admitting entries at a fixed
+# cap (hits keep working; misses just encode normally).
+
+_STR_MEMO: dict[str, bytes] = {}
+_STR_MEMO_MAX_LEN = 64
+_STR_MEMO_MAX_ENTRIES = 4096
+
+
+def _precompute_int_memo() -> dict[int, bytes]:
+    table: dict[int, bytes] = {}
+    for value in range(-128, 4097):
+        scratch = bytearray((_TAG_INT,))
+        _write_int(scratch, value)
+        table[value] = bytes(scratch)
+    return table
+
+
+_INT_MEMO = _precompute_int_memo()
+
 
 def _encode_value(out: bytearray, obj: Any) -> None:
     encoder = _ENCODERS.get(type(obj))
@@ -208,8 +341,13 @@ def _encode_value(out: bytearray, obj: Any) -> None:
 
 
 def _decode_value(reader: _Reader) -> Any:
-    tag = reader.read_byte()
-    decoder = _DECODERS.get(tag)
+    pos = reader.pos
+    try:
+        tag = reader.data[pos]
+    except IndexError:
+        raise CodecError("truncated frame: expected a tag byte") from None
+    reader.pos = pos + 1
+    decoder = _DECODER_TABLE[tag]
     if decoder is None:
         raise CodecError(f"unknown value tag 0x{tag:02X}")
     return decoder(reader)
@@ -224,6 +362,10 @@ def _encode_bool(out, obj):
 
 
 def _encode_int(out, obj):
+    memo = _INT_MEMO.get(obj)
+    if memo is not None:
+        out += memo
+        return
     out.append(_TAG_INT)
     _write_int(out, obj)
 
@@ -234,10 +376,22 @@ def _encode_float(out, obj):
 
 
 def _encode_str(out, obj):
-    out.append(_TAG_STR)
+    memo = _STR_MEMO.get(obj)
+    if memo is not None:
+        out += memo
+        return
     data = obj.encode("utf-8")
-    _write_uvarint(out, len(data))
-    out += data
+    length = len(data)
+    if length < 0x80:
+        encoded = bytes((_TAG_STR, length)) + data
+    else:
+        scratch = bytearray((_TAG_STR,))
+        _write_uvarint(scratch, length)
+        scratch += data
+        encoded = bytes(scratch)
+    out += encoded
+    if length <= _STR_MEMO_MAX_LEN and len(_STR_MEMO) < _STR_MEMO_MAX_ENTRIES:
+        _STR_MEMO[obj] = encoded
 
 
 def _encode_bytes(out, obj):
@@ -278,16 +432,33 @@ _ENCODERS[tuple] = _encode_tuple
 _ENCODERS[list] = _encode_list
 _ENCODERS[dict] = _encode_dict
 
-_DECODERS[_TAG_NONE] = lambda reader: None
-_DECODERS[_TAG_TRUE] = lambda reader: True
-_DECODERS[_TAG_FALSE] = lambda reader: False
-_DECODERS[_TAG_INT] = _Reader.read_int
-_DECODERS[_TAG_FLOAT] = lambda reader: _DOUBLE.unpack(reader.read_bytes(8))[0]
+_set_decoder(_TAG_NONE, lambda reader: None)
+_set_decoder(_TAG_TRUE, lambda reader: True)
+_set_decoder(_TAG_FALSE, lambda reader: False)
+_set_decoder(_TAG_INT, _Reader.read_int)
+_set_decoder(
+    _TAG_FLOAT, lambda reader: _DOUBLE.unpack(reader.read_bytes(8))[0]
+)
+
+#: Decode-side twin of ``_STR_MEMO``: raw utf-8 chunk -> the decoded
+#: (and thereby interned) string, so the relation/attribute/message
+#: names that appear in every frame skip ``bytes.decode`` and share
+#: one str object process-wide.
+_STR_DECODE_MEMO: dict[bytes, str] = {}
 
 
 def _decode_str(reader: _Reader) -> str:
     length = reader.read_uvarint()
-    return reader.read_bytes(length).decode("utf-8")
+    chunk = reader.read_bytes(length)
+    if length <= _STR_MEMO_MAX_LEN:
+        cached = _STR_DECODE_MEMO.get(chunk)
+        if cached is not None:
+            return cached
+        value = chunk.decode("utf-8")
+        if len(_STR_DECODE_MEMO) < _STR_MEMO_MAX_ENTRIES:
+            _STR_DECODE_MEMO[chunk] = value
+        return value
+    return chunk.decode("utf-8")
 
 
 def _decode_bytes(reader: _Reader) -> bytes:
@@ -295,7 +466,9 @@ def _decode_bytes(reader: _Reader) -> bytes:
 
 
 def _decode_tuple(reader: _Reader) -> tuple:
-    return tuple(_decode_value(reader) for _ in range(reader.read_uvarint()))
+    # A list comprehension materialised into tuple() beats feeding a
+    # generator to tuple() — no frame suspension per element.
+    return tuple([_decode_value(reader) for _ in range(reader.read_uvarint())])
 
 
 def _decode_list(reader: _Reader) -> list:
@@ -309,16 +482,125 @@ def _decode_dict(reader: _Reader) -> dict:
     }
 
 
-_DECODERS[_TAG_STR] = _decode_str
-_DECODERS[_TAG_BYTES] = _decode_bytes
-_DECODERS[_TAG_TUPLE] = _decode_tuple
-_DECODERS[_TAG_LIST] = _decode_list
-_DECODERS[_TAG_DICT] = _decode_dict
+_set_decoder(_TAG_STR, _decode_str)
+_set_decoder(_TAG_BYTES, _decode_bytes)
+_set_decoder(_TAG_TUPLE, _decode_tuple)
+_set_decoder(_TAG_LIST, _decode_list)
+_set_decoder(_TAG_DICT, _decode_dict)
+
+
+# ----------------------------------------------------------------------
+# Pre-PR codec emulation (benchmark baseline only)
+# ----------------------------------------------------------------------
+# The load generator's ``per_frame`` baseline reproduces the live path
+# exactly as it existed before the throughput work, and the codec is
+# the largest share of that path's CPU — so the baseline must also run
+# the *seed* codec: no value memoisation, no buffer pool, dict (not
+# table) decoder dispatch, generator-fed tuples, per-frame
+# header+payload concatenation.  These are verbatim copies of the seed
+# implementations; :func:`use_legacy_codec` swaps them in and out at
+# runtime.  Wire bytes are identical in both modes (tests assert it) —
+# only the work to produce and consume them differs.  Nothing outside
+# benchmark baselines should ever enable this.
+
+_LEGACY_CODEC = False
+
+_READ_UVARINT_FAST = _Reader.read_uvarint
+_DECODE_VALUE_FAST = _decode_value
+
+
+def _encode_int_legacy(out, obj):
+    out.append(_TAG_INT)
+    _write_int(out, obj)
+
+
+def _encode_str_legacy(out, obj):
+    out.append(_TAG_STR)
+    data = obj.encode("utf-8")
+    _write_uvarint(out, len(data))
+    out += data
+
+
+def _decode_str_legacy(reader: _Reader) -> str:
+    length = reader.read_uvarint()
+    return reader.read_bytes(length).decode("utf-8")
+
+
+def _decode_tuple_legacy(reader: _Reader) -> tuple:
+    return tuple(_decode_value(reader) for _ in range(reader.read_uvarint()))
+
+
+def _read_uvarint_legacy(self: _Reader) -> int:
+    value = 0
+    shift = 0
+    while True:
+        byte = self.read_byte()
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+
+
+def _decode_value_legacy(reader: _Reader) -> Any:
+    tag = reader.read_byte()
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown value tag 0x{tag:02X}")
+    return decoder(reader)
+
+
+def legacy_codec_active() -> bool:
+    """True while :func:`use_legacy_codec` has the seed paths installed.
+
+    The transport checks this to also disable its post-seed I/O fast
+    paths (direct ``readexactly``, skipped no-op drains) so a baseline
+    run reproduces the pre-PR behaviour end to end.
+    """
+    return _LEGACY_CODEC
+
+
+def use_legacy_codec(enabled: bool) -> None:
+    """Swap the hot codec paths for their seed (pre-PR) versions.
+
+    Benchmark-baseline plumbing, not a feature: the load generator
+    enables it around ``per_frame`` runs so the measured speedup is
+    the whole PR, then always restores the fast paths.
+    """
+    global _LEGACY_CODEC, _decode_value
+    if enabled == _LEGACY_CODEC:
+        return
+    _LEGACY_CODEC = enabled
+    if enabled:
+        _ENCODERS[int] = _encode_int_legacy
+        _ENCODERS[str] = _encode_str_legacy
+        _set_decoder(_TAG_STR, _decode_str_legacy)
+        _set_decoder(_TAG_TUPLE, _decode_tuple_legacy)
+        _Reader.read_uvarint = _read_uvarint_legacy
+        _decode_value = _decode_value_legacy
+        for cls, tag, _fast_enc, enc, _fast_dec, dec in _RECORD_CODECS:
+            _ENCODERS[cls] = enc
+            _set_decoder(tag, dec)
+    else:
+        _ENCODERS[int] = _encode_int
+        _ENCODERS[str] = _encode_str
+        _set_decoder(_TAG_STR, _decode_str)
+        _set_decoder(_TAG_TUPLE, _decode_tuple)
+        _Reader.read_uvarint = _READ_UVARINT_FAST
+        _decode_value = _DECODE_VALUE_FAST
+        for cls, tag, fast_enc, _enc, fast_dec, _dec in _RECORD_CODECS:
+            _ENCODERS[cls] = fast_enc
+            _set_decoder(tag, fast_dec)
 
 
 # ----------------------------------------------------------------------
 # Record registry
 # ----------------------------------------------------------------------
+
+#: Every registered record's codec variants, so
+#: :func:`use_legacy_codec` can swap them wholesale:
+#: ``(cls, tag, fast_encoder, seed_encoder, fast_decoder, seed_decoder)``.
+_RECORD_CODECS: list[tuple] = []
+
 
 def register_record(
     cls: type,
@@ -350,8 +632,61 @@ def register_record(
         kwargs = {name: _decode_value(reader) for name in _fields}
         return _builder(**kwargs)
 
-    _ENCODERS[cls] = encode_record
-    _DECODERS[tag] = decode_record
+    # Fast variants (same bytes, same objects — less interpreter work):
+    # one C-level attrgetter replaces the per-field getattr loop, and a
+    # positional constructor call replaces the kwargs dict whenever the
+    # wire fields are a declaration-order prefix of the dataclass (the
+    # decoded-value list is already in that order).  The seed-faithful
+    # closures above survive for :func:`use_legacy_codec`.
+    if not fields:
+
+        def encode_record_fast(
+            out: bytearray, obj: Any, _tag=tag
+        ) -> None:
+            out.append(_tag)
+
+    elif len(fields) == 1:
+
+        def encode_record_fast(
+            out: bytearray, obj: Any, _tag=tag,
+            _get=operator.attrgetter(fields[0]),
+        ) -> None:
+            out.append(_tag)
+            _encode_value(out, _get(obj))
+
+    else:
+
+        def encode_record_fast(
+            out: bytearray, obj: Any, _tag=tag,
+            _get=operator.attrgetter(*fields),
+        ) -> None:
+            out.append(_tag)
+            for value in _get(obj):
+                _encode_value(out, value)
+
+    decode_record_fast = decode_record
+    if build is None and dataclasses.is_dataclass(cls):
+        declared = tuple(f.name for f in dataclasses.fields(cls))
+        if declared[: len(fields)] == fields:
+
+            def decode_record_fast(
+                reader: _Reader, _builder=builder, _count=len(fields)
+            ) -> Any:
+                return _builder(
+                    *[_decode_value(reader) for _ in range(_count)]
+                )
+
+    _RECORD_CODECS.append(
+        (cls, tag, encode_record_fast, encode_record,
+         decode_record_fast, decode_record)
+    )
+    if _LEGACY_CODEC:
+        _ENCODERS[cls] = encode_record
+        _set_decoder(tag, decode_record)
+    else:
+        _ENCODERS[cls] = encode_record_fast
+        _set_decoder(tag, decode_record_fast)
+    _ARITY_BY_TAG[tag] = len(fields)
 
 
 # -- payload records ---------------------------------------------------
@@ -447,6 +782,20 @@ register_record(UnsubscribeMessage, TAG_UNSUBSCRIBE, ("query_key",))
 # reply_box is a local mutable answer slot; it never travels.
 register_record(RateProbeMessage, TAG_RATE_PROBE, ("relation", "attribute"))
 
+#: Message wire tag -> its accounting ``type`` label, so a relay can
+#: bill a raw-forwarded frame to the right traffic bucket without
+#: decoding the message (see :func:`repro.net.frames.peek_route`).
+MESSAGE_TYPE_BY_TAG: dict[int, str] = {
+    TAG_MESSAGE: Message.type,
+    TAG_QUERY_INDEX: QueryIndexMessage.type,
+    TAG_AL_INDEX: ALIndexMessage.type,
+    TAG_VL_INDEX: VLIndexMessage.type,
+    TAG_JOIN_MSG: JoinMessage.type,
+    TAG_NOTIFICATION_MSG: NotificationMessage.type,
+    TAG_UNSUBSCRIBE: UnsubscribeMessage.type,
+    TAG_RATE_PROBE: RateProbeMessage.type,
+}
+
 
 # ----------------------------------------------------------------------
 # Public payload/frame API
@@ -470,14 +819,101 @@ def decode(payload: bytes) -> Any:
     return obj
 
 
-def encode_frame(obj: Any) -> bytes:
-    """Serialize ``obj`` to a complete wire frame (header + payload)."""
-    payload = encode(obj)
+def decode_value_at(data: bytes, pos: int) -> tuple[Any, int]:
+    """Decode the single value starting at ``pos`` inside ``data``.
+
+    Returns ``(value, end_position)``.  Lets a relay that located a
+    field with :func:`skip_value` materialize just that field — e.g. a
+    delivering multisend hop decoding only the pair messages it owns —
+    without decoding the surrounding frame.
+    """
+    reader = _Reader(data)
+    reader.pos = pos
+    return _decode_value(reader), reader.pos
+
+
+def frame_for_payload(payload: bytes) -> bytes:
+    """Wrap already-encoded payload bytes in a wire header.
+
+    The splice fast path builds payloads from verbatim slices of an
+    inbound frame; this is the header step :func:`encode_frame` would
+    have done had the payload been re-encoded.
+    """
     if len(payload) > MAX_PAYLOAD:
         raise CodecError(
             f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD"
         )
     return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+
+
+#: Free-list of scratch buffers for :func:`encode_frame`, so steady-
+#: state frame encoding reuses ``bytearray`` objects instead of
+#: allocating one per frame.  Process-local and deliberately tiny; a
+#: buffer that grew beyond the cap is dropped rather than pooled.
+_BUFFER_POOL: list[bytearray] = []
+_BUFFER_POOL_MAX = 8
+_BUFFER_POOL_CAP = 1 << 20
+
+_HEADER_PLACEHOLDER = bytes(HEADER_SIZE)
+
+
+def encode_frame_into(out: bytearray, obj: Any) -> int:
+    """Append one complete wire frame for ``obj`` to ``out``.
+
+    The header is reserved in place and patched once the payload
+    length is known — header and payload share one buffer, so the
+    per-frame ``header + payload`` concatenation (and its second
+    allocation) never happens.  Returns the frame's size in bytes;
+    the produced bytes are identical to :func:`encode_frame`.
+    """
+    start = len(out)
+    out += _HEADER_PLACEHOLDER
+    try:
+        _encode_value(out, obj)
+    except Exception:
+        del out[start:]  # leave the caller's buffer frame-aligned
+        raise
+    length = len(out) - start - HEADER_SIZE
+    if length > MAX_PAYLOAD:
+        del out[start:]
+        raise CodecError(f"payload of {length} bytes exceeds MAX_PAYLOAD")
+    _HEADER.pack_into(out, start, MAGIC, PROTOCOL_VERSION, length)
+    return HEADER_SIZE + length
+
+
+def encode_frame(obj: Any) -> bytes:
+    """Serialize ``obj`` to a complete wire frame (header + payload)."""
+    if _LEGACY_CODEC:
+        # The seed path: encode the payload to its own bytes object,
+        # then concatenate the packed header in front (two allocations
+        # and a copy per frame).
+        payload = encode(obj)
+        if len(payload) > MAX_PAYLOAD:
+            raise CodecError(
+                f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD"
+            )
+        return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+    perf = PERF.enabled
+    buffer = _BUFFER_POOL.pop() if _BUFFER_POOL else bytearray()
+    timer = PERF.timer("codec.encode") if perf else None
+    if timer is not None:
+        timer.__enter__()
+    try:
+        encode_frame_into(buffer, obj)
+        frame = bytes(buffer)
+    finally:
+        if timer is not None:
+            timer.__exit__(None, None, None)
+        if (
+            len(_BUFFER_POOL) < _BUFFER_POOL_MAX
+            and len(buffer) <= _BUFFER_POOL_CAP
+        ):
+            del buffer[:]
+            _BUFFER_POOL.append(buffer)
+    if perf:
+        PERF.count("codec.frames_encoded")
+        PERF.count("codec.bytes_encoded", len(frame))
+    return frame
 
 
 def decode_header(header: bytes) -> int:
@@ -499,6 +935,56 @@ def decode_header(header: bytes) -> int:
     return length
 
 
+async def read_frame_raw(
+    reader, *, timeout: Optional[float] = None
+) -> tuple[bytes, bytes]:
+    """Read exactly one frame off an asyncio stream *without* decoding.
+
+    Returns ``(header, payload)`` as raw bytes — the zero-copy-ish
+    half of the receive path: a relay that only forwards the frame can
+    ship these bytes onward verbatim and never pay for a decode (see
+    :meth:`repro.net.peer.NetPeer._relay_raw`).  Error contract is
+    identical to :func:`read_frame`: clean EOF at a frame boundary is
+    :class:`EOFError`, death mid-frame is ``asyncio.
+    IncompleteReadError``, a corrupt header is :class:`~repro.errors.
+    CodecError`.
+    """
+    # ``wait_for`` wraps its awaitable in a fresh Task even with no
+    # timeout — measurable per-frame overhead on the serve loop — so
+    # the unbounded case awaits the stream read directly.  The legacy
+    # flag restores the seed's unconditional wrapping, so the pre-PR
+    # benchmark baseline pays the same per-read cost the seed did.
+    fast = timeout is None and not _LEGACY_CODEC
+    try:
+        if fast:
+            header = await reader.readexactly(HEADER_SIZE)
+        else:
+            header = await asyncio.wait_for(
+                reader.readexactly(HEADER_SIZE), timeout
+            )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed at a frame boundary") from None
+        raise
+    length = decode_header(header)
+    if fast:
+        payload = await reader.readexactly(length)
+    else:
+        payload = await asyncio.wait_for(reader.readexactly(length), timeout)
+    return header, payload
+
+
+def decode_frame_payload(payload: bytes) -> Any:
+    """Decode one frame payload, with :func:`read_frame`'s accounting."""
+    if not PERF.enabled:
+        return decode(payload)
+    with PERF.timer("codec.decode"):
+        obj = decode(payload)
+    PERF.count("codec.frames_decoded")
+    PERF.count("codec.bytes_decoded", HEADER_SIZE + len(payload))
+    return obj
+
+
 async def read_frame(reader, *, timeout: Optional[float] = None) -> Any:
     """Read and decode exactly one frame from an asyncio stream reader.
 
@@ -511,18 +997,9 @@ async def read_frame(reader, *, timeout: Optional[float] = None) -> Any:
     corrupt bytes, so the only safe recovery is to drop the connection
     and let the sender's retry path re-establish it.
     """
-    try:
-        header = await asyncio.wait_for(
-            reader.readexactly(HEADER_SIZE), timeout
-        )
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            raise EOFError("connection closed at a frame boundary") from None
-        raise
-    payload = await asyncio.wait_for(
-        reader.readexactly(decode_header(header)), timeout
-    )
-    return decode(payload)
+    _, payload = await read_frame_raw(reader, timeout=timeout)
+    obj = decode_frame_payload(payload)
+    return obj
 
 
 def decode_frame(data: bytes) -> tuple[Any, int]:

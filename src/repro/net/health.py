@@ -190,6 +190,8 @@ class FailureDetector:
 
     async def _probe(self, ident: int) -> None:
         """Re-dial a suspect until its server answers, then restore it."""
+        from .peer import set_nodelay  # circular at module import time
+
         config = self.config
         attempt = 1
         beacon = encode_frame(Heartbeat(sender=self.peer.node.ident))
@@ -215,6 +217,7 @@ class FailureDetector:
                     asyncio.open_connection(info.host, info.port),
                     config.probe_timeout,
                 )
+                set_nodelay(writer)
                 writer.write(beacon)
                 await asyncio.wait_for(writer.drain(), config.probe_timeout)
             except (OSError, asyncio.TimeoutError):

@@ -1,0 +1,63 @@
+"""Optional ``uvloop`` acceleration for the live transport.
+
+``uvloop`` (libuv-backed event loop) roughly halves the per-operation
+cost of asyncio socket I/O, which matters once the outbox batcher has
+squeezed the Python-level overhead out of the write path.  It is an
+*optional* dependency: nothing in this repository requires it, CI does
+not install it, and every code path must behave identically without it
+(the event-loop policy changes, the protocol does not).
+
+Activation is explicit, never automatic:
+
+* set ``REPRO_NET_UVLOOP=1`` in the environment, or
+* pass ``--uvloop`` to ``python -m repro.net.cluster`` /
+  ``python -m repro.net.loadgen``.
+
+When requested but not importable, :func:`maybe_install_uvloop` falls
+back to the stock asyncio loop and reports that it did, so benchmark
+reports can record which loop actually ran.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+ENV_VAR = "REPRO_NET_UVLOOP"
+
+__all__ = ["ENV_VAR", "loop_label", "maybe_install_uvloop"]
+
+_installed = False
+
+
+def _env_requested() -> bool:
+    return os.environ.get(ENV_VAR, "").strip() not in ("", "0")
+
+
+def maybe_install_uvloop(force: Optional[bool] = None) -> bool:
+    """Install uvloop's event-loop policy if requested and available.
+
+    ``force=True`` requests it unconditionally (the ``--uvloop`` flag),
+    ``force=False`` refuses it even if the environment asks, ``None``
+    defers to ``REPRO_NET_UVLOOP``.  Returns True when uvloop is the
+    active policy after the call; a missing or broken uvloop install is
+    a graceful no-op, not an error.
+    """
+    global _installed
+    want = _env_requested() if force is None else force
+    if not want:
+        return _installed
+    if _installed:
+        return True
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except Exception:
+        return False
+    uvloop.install()
+    _installed = True
+    return True
+
+
+def loop_label() -> str:
+    """``"uvloop"`` or ``"asyncio"`` — for benchmark report metadata."""
+    return "uvloop" if _installed else "asyncio"

@@ -46,12 +46,14 @@ value.  See DESIGN.md §11.
 from __future__ import annotations
 
 import asyncio
+import socket
 from collections import Counter
 from contextlib import suppress
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..chord.routing import Router
+from ..perf import PERF
 from ..errors import (
     CodecError,
     DeliveryError,
@@ -61,7 +63,18 @@ from ..errors import (
 )
 from ..transport import Transport
 from ..sim.messages import Message
-from .codec import encode_frame, read_frame
+from .codec import (
+    HEADER_SIZE,
+    MESSAGE_TYPE_BY_TAG,
+    decode,
+    decode_frame_payload,
+    decode_value_at,
+    encode_frame,
+    frame_for_payload,
+    legacy_codec_active,
+    read_frame,
+    read_frame_raw,
+)
 from .frames import (
     DirectFrame,
     Heartbeat,
@@ -71,6 +84,12 @@ from .frames import (
     MultiFrame,
     PeerInfo,
     RouteFrame,
+    TAG_MULTI_FRAME,
+    TAG_ROUTE_FRAME,
+    bump_route_hops,
+    peek_multi,
+    peek_route,
+    splice_multi,
 )
 from .health import FailureDetector, HealthConfig
 
@@ -87,6 +106,27 @@ class InjectedWireFault(Exception):
     corrupts a frame, or blocks a partitioned edge; handled by exactly
     the same retry/backoff/fallback code as a real ``OSError``.
     """
+
+
+def set_nodelay(writer: asyncio.StreamWriter, enabled: bool = True) -> None:
+    """Disable Nagle's algorithm on a stream's underlying socket.
+
+    Batching is *our* policy (the outbox coalesces frames explicitly);
+    letting the kernel hold small writes back as well would stack an
+    uncontrolled delay on top and put latency numbers at Nagle's mercy.
+    Applied to every accepted and outbound TCP connection; a transport
+    without a real socket (tests, non-TCP) is silently left alone.
+    ``enabled=False`` is a no-op — it exists so the load generator's
+    pre-PR baseline mode can run with the socket options the seed
+    transport actually had (:class:`NetConfig` ``nodelay``).
+    """
+    if not enabled:
+        return
+    sock = writer.get_extra_info("socket")
+    if sock is None:
+        return
+    with suppress(OSError, AttributeError):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
 
 @dataclass
@@ -116,6 +156,32 @@ class NetConfig:
     send_window: int = 1024
     #: Cluster-wide ceiling on in-flight deliveries (the credit budget).
     credit_budget: int = 4096
+    #: Most frames coalesced into one socket write (1 = per-frame
+    #: writes with one drain each, the pre-batching behaviour).  Chaos
+    #: runs always deliver per-frame so the seeded per-frame fault
+    #: decisions keep their exact semantics.
+    max_batch_frames: int = 64
+    #: Byte ceiling on one coalesced write; a batch stops growing once
+    #: it would exceed this (the frame that crossed the line still
+    #: ships with the batch, so a single frame may exceed it alone).
+    max_batch_bytes: int = 256 * 1024
+    #: How long (seconds) a non-full batch waits for more frames after
+    #: the queue runs dry.  0 (default) never waits: batching then only
+    #: coalesces what handler cascades already queued, adding no
+    #: latency on an idle connection.
+    batch_linger: float = 0.0
+    #: Set ``TCP_NODELAY`` on every accepted and outbound socket.
+    #: Always leave this on; ``False`` exists only so the load
+    #: generator's pre-PR baseline can measure Nagle's tax.
+    nodelay: bool = True
+    #: Handle routed frames structurally wherever possible: pass-through
+    #: RouteFrames/MultiFrames forward as raw wire bytes (hop counter
+    #: bumped in place), and delivering multisend hops decode only the
+    #: pair messages they own, splicing the remainder onward as verbatim
+    #: byte slices.  ``False`` exists only for the pre-PR benchmark
+    #: baseline; chaos runs disable the fast path automatically either
+    #: way.
+    raw_relay: bool = True
 
     @classmethod
     def from_fault_plan(cls, plan, **overrides) -> "NetConfig":
@@ -215,6 +281,8 @@ class InFlight:
         return pending
 
     async def wait_zero(self, timeout: Optional[float] = None) -> None:
+        if self._zero.is_set():
+            return
         try:
             await asyncio.wait_for(self._zero.wait(), timeout)
         except asyncio.TimeoutError:
@@ -230,7 +298,7 @@ class InFlight:
         cascades never wait here — blocking them would deadlock the
         very processing that frees credits.
         """
-        if self.budget is None:
+        if self.budget is None or self._below.is_set():
             return
         try:
             await asyncio.wait_for(self._below.wait(), timeout)
@@ -259,6 +327,23 @@ def _frame_label(frame) -> str:
     return "control"
 
 
+class _RawFrame:
+    """A relayed frame that was never decoded (raw wire bytes only).
+
+    The happy path — write the bytes to the next hop — needs nothing
+    else; only the rare retry-exhausted fallback needs the frame
+    object, and :meth:`materialize` decodes it on demand.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        self.data = data
+
+    def materialize(self):
+        return decode(self.data[HEADER_SIZE:])
+
+
 class _OutItem:
     """One queued frame: the object (for fallback rerouting), its wire
     bytes, and the delivery accounting it must settle."""
@@ -274,13 +359,22 @@ class _OutItem:
 
 
 class _Outbox:
-    """One persistent outbound connection: queue + writer task.
+    """One persistent outbound connection: queue + batching writer task.
 
     The connection is (re-)established lazily against the *current*
     address-book entry, so a peer that restarted on a new port is
     reached as soon as the membership update lands.  A connection the
     remote side dropped (EOF seen, or transport closing) is detected
     before the next write instead of silently swallowing frames.
+
+    The writer coalesces queued frames into multi-frame socket writes
+    with a **single drain per batch** (DESIGN.md §13): whatever a
+    synchronous handler cascade queued in one event-loop turn usually
+    ships as one ``write()``.  Batches are bounded by frame count and
+    byte size (:class:`NetConfig`); with a chaos layer installed the
+    writer falls back to strict per-frame delivery so the seeded
+    per-frame fault decisions (reset/truncate/garble *this* frame)
+    keep their exact semantics.
     """
 
     def __init__(self, peer: "NetPeer", target_ident: int):
@@ -289,12 +383,13 @@ class _Outbox:
         self.queue: asyncio.Queue = asyncio.Queue()
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
-        self.current: Optional[_OutItem] = None
+        #: Frames taken off the queue but not yet settled (current batch).
+        self.current: list[_OutItem] = []
         self.task = asyncio.get_running_loop().create_task(self._run())
 
     @property
     def depth(self) -> int:
-        return self.queue.qsize() + (1 if self.current is not None else 0)
+        return self.queue.qsize() + len(self.current)
 
     async def close(self) -> None:
         await self.queue.put(None)
@@ -302,10 +397,8 @@ class _Outbox:
 
     def abort(self) -> list[_OutItem]:
         """Crash teardown: cancel the writer, return the doomed items."""
-        items = []
-        if self.current is not None:
-            items.append(self.current)
-            self.current = None
+        items = list(self.current)
+        self.current.clear()
         while not self.queue.empty():
             item = self.queue.get_nowait()
             if item is not None:
@@ -336,11 +429,112 @@ class _Outbox:
                 item = await self.queue.get()
                 if item is None:
                     return
-                self.current = item
-                await self._deliver(item, config)
-                self.current = None
+                batch = self.current
+                batch.append(item)
+                closing = self._fill_batch(batch, config)
+                if len(batch) == 1:
+                    await self._deliver(item, config)
+                    batch.clear()
+                else:
+                    await self._deliver_batch(batch, config)
+                if closing:
+                    return
         finally:
             self.reset()
+
+    def _fill_batch(self, batch: list[_OutItem], config: NetConfig) -> bool:
+        """Greedily take more queued frames into ``batch`` (no awaits).
+
+        Returns True when the close sentinel was consumed while
+        filling, so the caller ships the batch and then exits.  With
+        chaos installed, or ``max_batch_frames <= 1``, the batch stays
+        at one frame and delivery keeps its per-frame semantics.
+        """
+        if self.peer.cluster.chaos is not None:
+            return False
+        max_frames = config.max_batch_frames
+        max_bytes = config.max_batch_bytes
+        if max_frames <= 1:
+            return False
+        nbytes = len(batch[0].data)
+        queue = self.queue
+        while len(batch) < max_frames and nbytes < max_bytes:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if item is None:
+                return True
+            batch.append(item)
+            nbytes += len(item.data)
+        return False
+
+    async def _deliver_batch(
+        self, batch: list[_OutItem], config: NetConfig
+    ) -> None:
+        """One coalesced write + one drain for the whole batch.
+
+        A failed batch write falls back to the per-frame path: every
+        frame of the batch then gets the full retry/backoff/fallback
+        treatment individually, exactly as if batching were disabled.
+        (Benign runs never take that path — a localhost write only
+        fails under injected faults or a genuinely dead peer.)
+        """
+        peer = self.peer
+        linger = config.batch_linger
+        if linger > 0.0 and len(batch) < config.max_batch_frames:
+            # Time threshold: give an almost-empty batch one bounded
+            # chance to pick up stragglers before paying the write.
+            with suppress(asyncio.TimeoutError):
+                while len(batch) < config.max_batch_frames:
+                    item = await asyncio.wait_for(self.queue.get(), linger)
+                    if item is None:
+                        self.queue.put_nowait(None)
+                        break
+                    batch.append(item)
+        try:
+            await self._attempt_batch(batch, config)
+            batch.clear()
+            return
+        except (OSError, asyncio.TimeoutError, InjectedWireFault):
+            self.reset()
+            peer.note_send_failure(self.target_ident)
+        while batch:
+            await self._deliver(batch[0], config)
+            batch.pop(0)
+
+    async def _attempt_batch(
+        self, batch: list[_OutItem], config: NetConfig
+    ) -> None:
+        peer = self.peer
+        cluster = peer.cluster
+        if cluster.is_dead(self.target_ident):
+            raise InjectedWireFault(f"peer {self.target_ident} crashed")
+        if (
+            self.writer is None
+            or self.writer.is_closing()
+            or (self.reader is not None and self.reader.at_eof())
+        ):
+            self.reset()
+            await self._connect(config)
+        data = b"".join(item.data for item in batch)
+        self.writer.write(data)
+        # ``drain()`` below the high-water mark is a no-op, but
+        # ``wait_for`` still builds a Task and a timer per call — on
+        # the hot path that is most of the flush cost.  When the
+        # kernel took the whole write synchronously there is nothing
+        # to wait for; any connection failure surfaces on the next
+        # write or on the serve side.
+        if self.writer.transport.get_write_buffer_size():
+            await asyncio.wait_for(self.writer.drain(), config.io_timeout)
+        peer.bytes_sent += len(data)
+        peer.batches_sent += 1
+        peer.note_send_success(self.target_ident)
+        if PERF.enabled:
+            PERF.count("net.writes")
+            PERF.count("net.batches")
+            PERF.count("net.frames_flushed", len(batch))
+            PERF.count("net.bytes_flushed", len(data))
 
     async def _deliver(self, item: _OutItem, config: NetConfig) -> None:
         peer = self.peer
@@ -407,9 +601,22 @@ class _Outbox:
             self.reset()
             raise InjectedWireFault("frame garbled on the wire")
         self.writer.write(item.data)
-        await asyncio.wait_for(self.writer.drain(), config.io_timeout)
+        # Same no-op-drain elision as the batch path, but only outside
+        # chaos and baseline-emulation runs: chaos semantics lean on a
+        # drain per faulted attempt, and the pre-PR transport always
+        # paid the ``wait_for`` (see ``legacy_codec_active``).
+        if (
+            chaos is not None
+            or legacy_codec_active()
+            or self.writer.transport.get_write_buffer_size()
+        ):
+            await asyncio.wait_for(self.writer.drain(), config.io_timeout)
         peer.bytes_sent += len(item.data)
         peer.note_send_success(self.target_ident)
+        if PERF.enabled:
+            PERF.count("net.writes")
+            PERF.count("net.frames_flushed")
+            PERF.count("net.bytes_flushed", len(item.data))
 
     async def _connect(self, config: NetConfig) -> None:
         cluster = self.peer.cluster
@@ -425,6 +632,7 @@ class _Outbox:
             asyncio.open_connection(info.host, info.port),
             config.connect_timeout,
         )
+        set_nodelay(self.writer, config.nodelay)
 
 
 class NetPeer:
@@ -449,6 +657,8 @@ class NetPeer:
         self.frames_sent = 0
         self.bytes_sent = 0
         self.frames_shed = 0
+        #: Coalesced multi-frame writes that went out with one drain.
+        self.batches_sent = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -613,6 +823,52 @@ class NetPeer:
             _OutItem(frame, encode_frame(frame), weight, labels, fallback)
         )
 
+    def post_raw(
+        self,
+        target_ident: int,
+        data: bytes,
+        labels: tuple[str, ...],
+        weight: int,
+    ) -> None:
+        """Queue pre-encoded wire bytes (the raw-relay fast path).
+
+        Mirrors :meth:`post` — address check, shed-on-saturation,
+        counters — but skips :func:`encode_frame` entirely: ``data``
+        is the original frame as read off the inbound socket, hop
+        counter already bumped.  ``labels``/``weight`` carry the same
+        settlement accounting the decoded path would have derived from
+        the frame (one label per delivery the frame still owes).
+        """
+        info = self.book.get(target_ident)
+        if info is None:
+            self.cluster.frame_failed(
+                NetworkError(
+                    f"peer {self.node.ident} has no address for "
+                    f"{target_ident} in its book"
+                ),
+                labels,
+            )
+            return
+        outbox = self._outboxes.get(target_ident)
+        if outbox is None:
+            outbox = _Outbox(self, target_ident)
+            self._outboxes[target_ident] = outbox
+        window = self.cluster.net_config.send_window
+        if window > 0 and outbox.queue.qsize() >= window:
+            self.frames_shed += 1
+            self.cluster.frame_failed(
+                NetworkError(
+                    f"send window to peer {target_ident} full "
+                    f"({window} frames); shed {labels[0] if labels else 'control'}"
+                ),
+                labels,
+            )
+            return
+        self.frames_sent += 1
+        outbox.queue.put_nowait(
+            _OutItem(_RawFrame(data), data, weight, labels, False)
+        )
+
     def post_heartbeat(self, target_ident: int) -> None:
         """Queue a weightless liveness beacon (single attempt, no retry)."""
         if self.crashed or target_ident not in self.book:
@@ -651,14 +907,17 @@ class NetPeer:
         """
         label = item.labels[0] if item.labels else "control"
         if not item.fallback:
-            alternative = self.cluster.fallback_ident(item.frame, target_ident)
+            frame = item.frame
+            if type(frame) is _RawFrame:
+                frame = frame.materialize()
+            alternative = self.cluster.fallback_ident(frame, target_ident)
             if alternative is not None and alternative != target_ident:
                 self.cluster.stats.record_retry(label)
                 if alternative == self.node.ident:
-                    self._accept_fallback(item.frame)
+                    self._accept_fallback(frame)
                 else:
                     self.post(
-                        alternative, item.frame, weight=item.weight,
+                        alternative, frame, weight=item.weight,
                         fallback=True,
                     )
                 return
@@ -705,6 +964,100 @@ class NetPeer:
         ):
             next_hop = successor
         return next_hop
+
+    def _relay_raw(self, header: bytes, payload: bytes) -> bool:
+        """Forward a routed frame without ever decoding its messages.
+
+        The zero-copy-ish half of :meth:`route` and
+        :meth:`route_multi`: when this node is a pure relay — it owns
+        neither a RouteFrame's target nor any of a MultiFrame's pair
+        targets — the only field the protocol rewrites is the hop
+        counter, so the original wire bytes are shipped onward with the
+        trailing varint bumped in place — no payload decode, no
+        re-encode, no second allocation of the message trees.  Returns
+        False whenever the slow path must run instead: the structural
+        peek failed, this node owns a target (local delivery), the
+        hop bound is exceeded (the decoded path raises the proper
+        RoutingError), or chaos is installed (fault injection reasons
+        about decoded frames, so soaks keep the seed semantics).
+        """
+        cluster = self.cluster
+        if (
+            not cluster.net_config.raw_relay
+            or cluster.chaos is not None
+            or self.crashed
+        ):
+            return False
+        tag = payload[0] if payload else 0
+        if tag == TAG_ROUTE_FRAME:
+            peeked = peek_route(payload)
+            if peeked is None:
+                return False
+            target_ident, message_tag, hops = peeked
+            if self.node.owns(target_ident):
+                return False
+            if hops >= cluster.max_hops:
+                return False
+            data = bump_route_hops(header, payload)
+            if data is None:  # pragma: no cover - peek already bounds hops
+                return False
+            mtype = MESSAGE_TYPE_BY_TAG.get(message_tag, "message")
+            cluster.stats.record_hops(mtype, 1)
+            if PERF.enabled:
+                PERF.count("net.frames_relayed_raw")
+            self.post_raw(
+                self._next_hop(target_ident).ident, data, (mtype,), 1
+            )
+            return True
+        if tag == TAG_MULTI_FRAME:
+            peeked_multi = peek_multi(payload)
+            if peeked_multi is None:
+                return False
+            idents, message_tags, message_starts, pair_starts, hops = (
+                peeked_multi
+            )
+            owns = self.node.owns
+            owned: list[int] = []
+            keep: list[int] = []
+            for i, ident in enumerate(idents):
+                (owned if owns(ident) else keep).append(i)
+            if keep and hops >= cluster.max_hops + 2 * len(idents):
+                # Sweep bound exceeded: the decoded path delivers the
+                # owned pairs and raises the proper RoutingError for
+                # the remainder.
+                return False
+            if not owned:
+                # Pure relay: original bytes onward, hop byte bumped.
+                data = bump_route_hops(header, payload)
+                if data is None:  # pragma: no cover - peek bounds hops
+                    return False
+                if PERF.enabled:
+                    PERF.count("net.frames_relayed_raw")
+            else:
+                # Delivering hop: materialize ONLY the owned messages;
+                # the rest of the sweep travels on as verbatim slices,
+                # so across a whole sweep each pair's message is
+                # decoded exactly once — at its owner.
+                for i in owned:
+                    message, _ = decode_value_at(payload, message_starts[i])
+                    self.handle_delivery(message)
+                if not keep:
+                    return True
+                data = frame_for_payload(
+                    splice_multi(payload, pair_starts, keep, hops)
+                )
+                if PERF.enabled:
+                    PERF.count("net.frames_spliced")
+            labels = tuple(
+                MESSAGE_TYPE_BY_TAG.get(message_tags[i], "message")
+                for i in keep
+            )
+            cluster.stats.record_hops("multisend", 1)
+            self.post_raw(
+                self._next_hop(idents[keep[0]]).ident, data, labels, len(keep)
+            )
+            return True
+        return False
 
     def route(self, frame: RouteFrame) -> None:
         """Deliver or forward a ``send()`` frame."""
@@ -775,12 +1128,13 @@ class NetPeer:
         if task is not None:
             self._serve_tasks.add(task)
         self._inbound.add(writer)
+        set_nodelay(writer, self.cluster.net_config.nodelay)
         loop = asyncio.get_running_loop()
         abort_connection = False
         try:
             while True:
                 try:
-                    frame = await read_frame(reader)
+                    header, payload = await read_frame_raw(reader)
                 except asyncio.IncompleteReadError:
                     # Died mid-frame; must precede the EOFError arm
                     # (IncompleteReadError subclasses EOFError).
@@ -788,6 +1142,9 @@ class NetPeer:
                 except EOFError:
                     break  # clean close at a frame boundary
                 self._last_inbound = loop.time()
+                if self._relay_raw(header, payload):
+                    continue
+                frame = decode_frame_payload(payload)
                 await self._dispatch(frame, writer)
         except CodecError as exc:
             # Corrupt bytes poison the whole stream: the only safe

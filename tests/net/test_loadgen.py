@@ -1,0 +1,123 @@
+"""Load-generator correctness: pipelining must never change answers.
+
+The pipelined driver removes the per-event drain, so DAI-Q/DAI-T pair
+races become possible (both one-shot probes overtake the other tuple's
+store); the settle pass — a paced soft-state replay — must close them.
+These tests pin the whole contract on a small point: per-frame and
+batched modes produce the simulator's exact notification set, the raw
+relay is digest-neutral, and the engine's stepwise lease refresh is
+equivalent to the one-shot form.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.macro import notification_digest
+from repro.chord.network import ChordNetwork
+from repro.core.engine import ContinuousQueryEngine, EngineConfig
+from repro.net.cluster import ClusterConfig, LiveCluster, simulate_reference
+from repro.net.loadgen import LoadgenConfig, build_report, compare_reports
+from repro.net.peer import NetConfig
+from repro.workload.generator import WorkloadParams, build_workload
+
+POINT = LoadgenConfig(n_nodes=6, n_queries=8, n_tuples=48, domain_size=16, seed=3)
+
+
+def test_both_modes_match_simulator_and_each_other():
+    # build_report itself raises on any digest disagreement: between
+    # repeated runs, between modes, and against the simulator oracle.
+    report = build_report(
+        POINT, algorithms=("dai-t",), modes=("per_frame", "batched"), check_sim=True
+    )
+    entry = report["algorithms"]["dai-t"]
+    assert entry["digest"] == entry["sim_digest"]
+    assert entry["per_frame"]["batches_sent"] == 0
+    assert entry["batched"]["batches_sent"] > 0
+    assert "batched_speedup" in entry
+    # The settle pass may legitimately recover nothing at this size,
+    # but must never *lose* notifications.
+    assert entry["batched"]["recovered_notifications"] >= 0
+    assert entry["batched"]["settle_seconds"] >= 0.0
+
+    # The report gates green against itself.
+    assert compare_reports(report, report) == []
+
+    # ... and trips loudly when the recorded answers change.
+    tampered = {
+        **report,
+        "algorithms": {
+            "dai-t": {**entry, "digest": "0" * 40, "notifications": 1}
+        },
+    }
+    problems = compare_reports(report, tampered)
+    assert any("digest changed" in problem for problem in problems)
+
+
+def test_raw_relay_is_digest_neutral():
+    """The zero-copy relay forwards original bytes; answers identical."""
+    workload = build_workload(
+        WorkloadParams(n_queries=6, n_tuples=30, domain_size=12, seed=5)
+    )
+
+    async def digest_with(raw_relay: bool) -> str:
+        cluster = LiveCluster(
+            ClusterConfig(
+                algorithm="sai",
+                n_nodes=6,
+                seed=5,
+                net=NetConfig(raw_relay=raw_relay),
+            )
+        )
+        await cluster.start()
+        try:
+            report = await cluster.run(workload)
+        finally:
+            await cluster.stop()
+        return report.notification_digest
+
+    with_relay = asyncio.run(digest_with(True))
+    without_relay = asyncio.run(digest_with(False))
+    assert with_relay == without_relay
+    assert with_relay == simulate_reference(
+        workload, algorithm="sai", n_nodes=6, seed=5
+    )[0]
+
+
+def _sim_engine():
+    workload = build_workload(
+        WorkloadParams(n_queries=6, n_tuples=30, domain_size=12, seed=9)
+    )
+    engine = ContinuousQueryEngine(
+        ChordNetwork.build(8), EngineConfig(algorithm="dai-q", seed=9)
+    )
+    run_workload(engine, workload, seed=9)
+    return engine
+
+
+def test_stepwise_lease_refresh_equals_one_shot():
+    one_shot = _sim_engine()
+    counts = one_shot.refresh_leases()
+
+    stepwise = _sim_engine()
+    kinds = []
+    for kind, replay in stepwise.lease_refresh_steps():
+        kinds.append(kind)
+        replay()
+
+    assert counts == {
+        "queries": kinds.count("query"),
+        "tuples": kinds.count("tuple"),
+    }
+    assert notification_digest(stepwise) == notification_digest(one_shot)
+
+
+def test_lease_refresh_is_idempotent_on_answers():
+    engine = _sim_engine()
+    before = notification_digest(engine)
+    delivered_before = sum(len(b) for b in engine.delivered.values())
+    engine.refresh_leases()
+    assert notification_digest(engine) == before
+    assert sum(len(b) for b in engine.delivered.values()) == delivered_before
+    assert engine.duplicate_deliveries == 0
