@@ -1,0 +1,65 @@
+"""Hot path 7: batched event dispatch vs the heap queue.
+
+Workload replay feeds timestamp-sorted events, so the large-scale path
+(DESIGN.md §14) dispatches them through a reused
+:class:`~repro.sim.events.EventRing` batch buffer instead of pushing
+one heap :class:`~repro.sim.events.Event` per arrival.  Both variants
+execute the identical no-op workload through a
+:class:`~repro.sim.simulator.Simulator`, so the delta is pure
+scheduling overhead (allocation + heap comparisons).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chord.network import ChordNetwork
+from repro.sim.simulator import Simulator
+
+from _common import report
+
+
+def run(n_events: int = 200_000, batch: int = 4096) -> list[dict]:
+    network = ChordNetwork.build(4)
+
+    def handler(target, payload) -> None:
+        pass
+
+    rows = []
+
+    simulator = Simulator(network)
+    start = time.perf_counter()
+    dispatched = simulator.run_stream(
+        ((float(i), None, i) for i in range(n_events)), handler, batch=batch
+    )
+    elapsed = time.perf_counter() - start
+    assert dispatched == n_events
+    rows.append(
+        report(
+            "events.ring_stream",
+            elapsed / n_events * 1e9,
+            n_events=n_events,
+            batch=batch,
+        )
+    )
+
+    simulator = Simulator(network)
+    start = time.perf_counter()
+    for i in range(n_events):
+        simulator.at(float(i), lambda i=i: handler(None, i))
+    executed = simulator.run()
+    elapsed = time.perf_counter() - start
+    assert executed == n_events
+    rows.append(
+        report(
+            "events.heap_queue_reference",
+            elapsed / n_events * 1e9,
+            n_events=n_events,
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    for row in run():
+        print(row)

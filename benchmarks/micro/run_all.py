@@ -20,10 +20,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import bench_events
 import bench_hashing
 import bench_multisend
 import bench_rewrite
 import bench_routing
+import bench_snapshot
 import bench_tables
 import test_codec_encode as bench_codec
 
@@ -31,8 +33,10 @@ SUITES = (
     bench_hashing,
     bench_tables,
     bench_routing,
+    bench_snapshot,
     bench_multisend,
     bench_rewrite,
+    bench_events,
     bench_codec,
 )
 

@@ -72,6 +72,26 @@ def make_engine(
     return ContinuousQueryEngine(network, config)
 
 
+def workload_params_for(
+    scale: Scale | None = None, **overrides
+) -> WorkloadParams:
+    """The standard workload parameters at the given scale.
+
+    Shared by :func:`workload_for` (materialized events) and the
+    streaming large-scale path (:mod:`repro.bench.scale`), so both
+    replay the identical seeded event sequence.
+    """
+    if scale is None:
+        scale = current_scale()
+    return WorkloadParams(
+        n_queries=overrides.pop("n_queries", scale.n_queries),
+        n_tuples=overrides.pop("n_tuples", scale.n_tuples),
+        domain_size=overrides.pop("domain_size", scale.domain_size),
+        zipf_s=overrides.pop("zipf_s", scale.zipf_s),
+        **overrides,
+    )
+
+
 def workload_for(
     scale: Scale | None = None, **overrides
 ) -> Workload:
@@ -81,16 +101,7 @@ def workload_for(
     :class:`~repro.workload.generator.WorkloadParams` (e.g.
     ``bos_ratio=8`` or ``warmup_tuples=500``).
     """
-    if scale is None:
-        scale = current_scale()
-    params = WorkloadParams(
-        n_queries=overrides.pop("n_queries", scale.n_queries),
-        n_tuples=overrides.pop("n_tuples", scale.n_tuples),
-        domain_size=overrides.pop("domain_size", scale.domain_size),
-        zipf_s=overrides.pop("zipf_s", scale.zipf_s),
-        **overrides,
-    )
-    return build_workload(params)
+    return build_workload(workload_params_for(scale, **overrides))
 
 
 def run_workload(

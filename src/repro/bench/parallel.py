@@ -69,6 +69,84 @@ def configured_processes(n_items: int) -> int:
     return max(1, min(procs, n_items))
 
 
+def fork_available() -> bool:
+    """True when the platform supports forked workers.
+
+    The sharded simulator (:mod:`repro.sim.shard`) relies on fork
+    semantics — workers inherit a fully built engine copy-on-write —
+    so it degrades to in-process staged execution elsewhere.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ShardPool:
+    """Persistent forked workers exchanging messages over pipes.
+
+    Unlike :func:`parallel_map` (stateless one-shot points), sharded
+    simulation needs *stateful* workers: each holds one ring segment of
+    a forked engine replica and participates in several message
+    exchanges per epoch.  ``worker_main(conn, index)`` runs in each
+    child — typically a closure over the pre-built engine, which fork
+    shares copy-on-write — and owns the command protocol; the pool only
+    provides the scatter/gather plumbing.
+    """
+
+    def __init__(self, n_shards: int, worker_main: Callable[[object, int], None]):
+        if not fork_available():
+            raise RuntimeError("ShardPool requires the fork start method")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        context = multiprocessing.get_context("fork")
+        self.n_shards = n_shards
+        self._conns = []
+        self._procs = []
+        for index in range(n_shards):
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=worker_main, args=(child, index), daemon=True
+            )
+            process.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(process)
+
+    def send(self, shard: int, payload) -> None:
+        self._conns[shard].send(payload)
+
+    def recv(self, shard: int):
+        return self._conns[shard].recv()
+
+    def scatter(self, payloads: Sequence) -> None:
+        """Send ``payloads[i]`` to shard ``i`` (one per shard)."""
+        if len(payloads) != self.n_shards:
+            raise ValueError("one payload per shard required")
+        for conn, payload in zip(self._conns, payloads):
+            conn.send(payload)
+
+    def gather(self) -> list:
+        """Receive one reply from every shard, in shard order."""
+        return [conn.recv() for conn in self._conns]
+
+    def close(self) -> None:
+        """Close pipes and reap the workers (best effort)."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        for process in self._procs:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - teardown best effort
+                process.terminate()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def parallel_map(func: Callable[[T], R], items: Iterable[T]) -> list[R]:
     """``[func(item) for item in items]``, possibly across processes.
 

@@ -1,0 +1,383 @@
+"""Large-scale sweep points through the sharded simulator, with a gate.
+
+The E14 scaling study tops out where the serial simulator becomes the
+bottleneck.  This benchmark pushes the network-size axis into the
+10^5-node range by combining the three scaling mechanisms of
+DESIGN.md §14:
+
+* fast-routing ring snapshots (``ChordNetwork.build(fast_routing=True)``),
+* streaming workload generation (:func:`iter_workload_events`), and
+* sharded staged execution of the stream (:func:`repro.sim.shard.run_sharded`).
+
+Two modes:
+
+``python -m repro.bench.scale --verify``
+    Differential check at a small ring: the staged executor —
+    in-process *and* forked — must produce **bit-identical** simulated
+    metrics (hops, messages, per-type traffic, notification digest) to
+    the serial :func:`~repro.bench.harness.run_standard` reference for
+    all four algorithms.  Exits non-zero on any difference.
+
+``python -m repro.bench.scale --nodes 100000 [--output/--compare]``
+    Run one sweep point and (optionally) gate it against a committed
+    baseline, mirroring :mod:`repro.bench.macro`: simulated metrics
+    must match exactly, wall-clock may drift at most ``--threshold``.
+
+Shard count follows ``REPRO_BENCH_PROCS`` (see
+:mod:`repro.bench.parallel`); ``--shards`` overrides it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..chord.hashing import hash_key_cache_clear
+from ..chord.network import ChordNetwork
+from ..core.engine import ContinuousQueryEngine, EngineConfig
+from ..sim.shard import ShardRunResult, run_sharded
+from ..workload.generator import iter_workload_events
+from ..workload.schema_gen import synthetic_schema
+from .configs import Scale
+from .harness import run_standard, workload_for, workload_params_for
+from .macro import (
+    DEFAULT_THRESHOLD,
+    HEADLINE_ALGORITHMS,
+    compare_reports,
+    notification_digest,
+    speedup_versus,
+)
+from .parallel import configured_processes, fork_available
+
+#: Name recorded in the JSON so unrelated baselines never compare.
+SCALE_BENCH_NAME = "sim-scale-point"
+
+#: Default sweep point: large enough that the serial simulator hurts,
+#: small enough for a CI smoke job.
+DEFAULT_NODES = 20_000
+
+#: Ring size of the ``--verify`` differential check.
+VERIFY_NODES = 512
+
+#: Events per staged epoch (driver → workers → barrier → repeat).
+DEFAULT_BATCH_SIZE = 512
+
+
+def scale_point(
+    n_nodes: int,
+    n_queries: int = 400,
+    n_tuples: int = 800,
+    domain_size: int = 900,
+    zipf_s: float = 0.75,
+) -> Scale:
+    """A sweep point: the network-size axis moves, the workload holds.
+
+    Keeping the workload fixed isolates what the large rings cost
+    (longer routes, bigger build) from what more work costs — the same
+    shape as E14's network-size sweep.
+    """
+    return Scale(
+        name=f"scale-{n_nodes}",
+        n_nodes=n_nodes,
+        n_queries=n_queries,
+        n_tuples=n_tuples,
+        domain_size=domain_size,
+        zipf_s=zipf_s,
+    )
+
+
+def default_shards() -> int:
+    """Shard count from ``REPRO_BENCH_PROCS`` (1 = staged in-process)."""
+    if not fork_available():  # pragma: no cover - platform dependent
+        return 1
+    return configured_processes(os.cpu_count() or 1)
+
+
+def _result_metrics(result: ShardRunResult) -> dict:
+    """The invariant-metrics dict, in macro-benchmark vocabulary."""
+    install = result.install_traffic
+    stream = result.stream_traffic
+    return {
+        "hops": stream.hops + install.hops,
+        "messages": stream.messages + install.messages,
+        "stream_hops_by_type": dict(sorted(stream.hops_by_type.items())),
+        "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
+        "notifications_delivered": result.notifications_delivered,
+        "notification_digest": result.notification_digest,
+    }
+
+
+def run_scale_point(
+    algorithm: str,
+    point: Scale,
+    *,
+    seed: int = 1,
+    shards: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> dict:
+    """One algorithm at one sweep point through the full fast path.
+
+    Wall-clock covers everything a bigger ring makes slower — network
+    build, query install, sharded stream — reported per phase.
+    """
+    if shards is None:
+        shards = default_shards()
+    params = workload_params_for(point)
+    schema = synthetic_schema(params.n_relations, params.attributes_per_relation)
+    start = time.perf_counter()
+    network = ChordNetwork.build(point.n_nodes, fast_routing=True)
+    built = time.perf_counter()
+    engine = ContinuousQueryEngine(
+        network, EngineConfig(algorithm=algorithm, index_choice="random", seed=seed)
+    )
+    result = run_sharded(
+        engine,
+        iter_workload_events(params, schema),
+        shards=shards,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "build_seconds": built - start,
+        "shards": result.shards,
+        "metrics": _result_metrics(result),
+    }
+
+
+def run_scale(
+    point: Scale,
+    *,
+    algorithms: Sequence[str] = HEADLINE_ALGORITHMS,
+    seed: int = 1,
+    repeats: int = 1,
+    shards: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> dict:
+    """Run the sweep point for every algorithm; returns the report dict.
+
+    Repeats keep the minimum wall-clock but must agree on the simulated
+    metrics, as in :func:`repro.bench.macro.run_macro`.
+    """
+    per_algorithm: dict[str, dict] = {}
+    for algorithm in algorithms:
+        hash_key_cache_clear()
+        best: Optional[dict] = None
+        for _ in range(max(1, repeats)):
+            sample = run_scale_point(
+                algorithm, point, seed=seed, shards=shards, batch_size=batch_size
+            )
+            if best is None:
+                best = sample
+            else:
+                if sample["metrics"] != best["metrics"]:
+                    raise RuntimeError(
+                        f"scale benchmark is non-deterministic for "
+                        f"{algorithm!r}: repeated runs disagree"
+                    )
+                if sample["wall_seconds"] < best["wall_seconds"]:
+                    best["wall_seconds"] = sample["wall_seconds"]
+                    best["build_seconds"] = sample["build_seconds"]
+            hash_key_cache_clear()
+        per_algorithm[algorithm] = best
+    total_wall = sum(entry["wall_seconds"] for entry in per_algorithm.values())
+    return {
+        "name": SCALE_BENCH_NAME,
+        "point": {
+            "n_nodes": point.n_nodes,
+            "n_queries": point.n_queries,
+            "n_tuples": point.n_tuples,
+            "domain_size": point.domain_size,
+            "zipf_s": point.zipf_s,
+            "batch_size": batch_size,
+        },
+        "seed": seed,
+        "shards": {name: entry["shards"] for name, entry in per_algorithm.items()},
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "wall_seconds": {
+            **{
+                name: round(entry["wall_seconds"], 4)
+                for name, entry in per_algorithm.items()
+            },
+            "total": round(total_wall, 4),
+        },
+        "metrics": {name: entry["metrics"] for name, entry in per_algorithm.items()},
+    }
+
+
+def verify_equivalence(
+    *,
+    n_nodes: int = VERIFY_NODES,
+    algorithms: Sequence[str] = HEADLINE_ALGORITHMS,
+    seed: int = 1,
+    batch_size: int = 64,
+) -> list[str]:
+    """Differential check: fast path ≡ serial reference, bit for bit.
+
+    For each algorithm the identical seeded workload is replayed three
+    ways — serial :func:`run_standard`, staged in-process, staged over
+    forked shards — and every simulated metric must agree.  Returns
+    failure messages (empty = equivalent).
+    """
+    point = scale_point(n_nodes)
+    workload = workload_for(point)
+    problems: list[str] = []
+    for algorithm in algorithms:
+        reference = run_standard(
+            algorithm,
+            point,
+            config_overrides={"index_choice": "random"},
+            workload=workload,
+            seed=seed,
+        )
+        install = reference.install_traffic
+        stream = reference.stream_traffic
+        expected = {
+            "hops": stream.hops + install.hops,
+            "messages": stream.messages + install.messages,
+            "stream_hops_by_type": dict(sorted(stream.hops_by_type.items())),
+            "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
+            "notifications_delivered": reference.notifications_delivered,
+            "notification_digest": notification_digest(reference.engine),
+        }
+        modes = [("staged", 1)]
+        if fork_available():
+            modes.append(("forked", 4))
+        for label, shards in modes:
+            network = ChordNetwork.build(point.n_nodes, fast_routing=True)
+            engine = ContinuousQueryEngine(
+                network,
+                EngineConfig(algorithm=algorithm, index_choice="random", seed=seed),
+            )
+            result = run_sharded(
+                engine, workload, shards=shards, batch_size=batch_size, seed=seed
+            )
+            got = _result_metrics(result)
+            for metric in expected:
+                if got[metric] != expected[metric]:
+                    problems.append(
+                        f"{algorithm}/{label}: {metric} diverged: "
+                        f"serial {expected[metric]!r} != fast {got[metric]!r}"
+                    )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.scale",
+        description="Large-scale sweep point through the sharded simulator.",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=f"differential check vs the serial simulator at {VERIFY_NODES} nodes",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=DEFAULT_NODES, help="ring size of the point"
+    )
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--tuples", type=int, default=800)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard workers (default: REPRO_BENCH_PROCS; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="stream events per staged epoch",
+    )
+    parser.add_argument(
+        "--algorithms",
+        default=",".join(HEADLINE_ALGORITHMS),
+        help="comma-separated algorithm subset",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report to this path"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="gate against a committed baseline JSON (e.g. BENCH_sim_scale.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional wall-clock regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timing repeats (min is kept)"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload/engine seed")
+    args = parser.parse_args(argv)
+    algorithms = tuple(name for name in args.algorithms.split(",") if name)
+
+    if args.verify:
+        problems = verify_equivalence(algorithms=algorithms, seed=args.seed)
+        if problems:
+            for problem in problems:
+                print(f"VERIFY FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"verify: OK — staged/forked metrics identical to serial at "
+            f"{VERIFY_NODES} nodes ({', '.join(algorithms)})",
+            file=sys.stderr,
+        )
+        return 0
+
+    point = scale_point(args.nodes, n_queries=args.queries, n_tuples=args.tuples)
+    report = run_scale(
+        point,
+        algorithms=algorithms,
+        seed=args.seed,
+        repeats=args.repeats,
+        shards=args.shards,
+        batch_size=args.batch_size,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=False)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(rendered)
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare_reports(report, baseline, args.threshold)
+        ratio = speedup_versus(report, baseline)
+        if ratio is not None:
+            print(
+                f"wall-clock: {report['wall_seconds']['total']:.3f}s vs "
+                f"baseline {baseline['wall_seconds']['total']:.3f}s "
+                f"({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        if problems:
+            for problem in problems:
+                print(f"SCALE GATE FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(
+            "scale gate: OK (metrics identical, wall within threshold)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

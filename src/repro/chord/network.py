@@ -26,12 +26,14 @@ import bisect
 from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from ..errors import NetworkError
+from ..perf import PERF
 from ..sim.stats import TrafficStats
 from ..transport import Transport
 from .hashing import DEFAULT_M, ConsistentHash
 from .idspace import IdentifierSpace
 from .node import DEFAULT_SUCCESSOR_LIST_SIZE, ChordNode
 from .routing import Router
+from .snapshot import RingSnapshot
 from . import stabilize as maintenance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,6 +67,23 @@ class ChordNetwork:
         self._nodes: dict[int, ChordNode] = {}
         self._sorted_idents: list[int] = []
         self.transfer_hook: Optional[TransferHook] = None
+        #: Opt-in snapshot routing (see :meth:`ring_snapshot`).  Off by
+        #: default so tests that damage ring pointers directly keep
+        #: exercising the object walk unchanged.
+        self.fast_routing = False
+        #: True while every node's pointers match the membership exactly
+        #: (as after :meth:`build` / :meth:`rebuild_ring_state`); any
+        #: membership change clears it until the next full rebuild.
+        self._ring_exact = False
+        #: Finger tables deferred (large fast-routing rings): snapshot
+        #: routing never reads them, and building them dominates ring
+        #: construction time.  Materialized on the first membership
+        #: change so the object walk stays available as a fallback.
+        self._lazy_fingers = False
+        #: Bumped on every membership change; O(1) snapshot invalidation.
+        self._membership_generation = 0
+        self._snapshot: Optional[RingSnapshot] = None
+        self.router.ring = self
 
     def use_transport(self, transport: Transport) -> Transport:
         """Install ``transport`` as the active message substrate.
@@ -97,45 +116,75 @@ class ChordNetwork:
         successor_list_size: int = DEFAULT_SUCCESSOR_LIST_SIZE,
         key_prefix: str = "node",
         injector: Optional["FaultInjector"] = None,
+        fast_routing: bool = False,
     ) -> "ChordNetwork":
         """Create a stable ring of ``n_nodes`` nodes.
 
         Node keys are ``"{key_prefix}-{i}"``; identifier collisions
         (possible at small ``m``) are resolved by salting the key, so
         the ring always has exactly ``n_nodes`` distinct identifiers.
+
+        ``fast_routing=True`` enables snapshot routing (bisect lookups
+        over the sorted identifier array instead of per-hop object
+        walks) and defers finger-table construction, which dominates
+        build time at large ``n_nodes``.
         """
         if n_nodes < 1:
             raise NetworkError("a network needs at least one node")
         network = cls(
             m=m, successor_list_size=successor_list_size, injector=injector
         )
+        nodes = network._nodes
+        hash_fn = network.hash
         for index in range(n_nodes):
             key = f"{key_prefix}-{index}"
             salt = 0
-            ident = network.hash(key)
-            while ident in network._nodes:
+            ident = hash_fn(key)
+            while ident in nodes:
                 salt += 1
-                ident = network.hash(f"{key}~{salt}")
-            node = ChordNode(
+                ident = hash_fn(f"{key}~{salt}")
+            nodes[ident] = ChordNode(
                 key if salt == 0 else f"{key}~{salt}",
                 ident,
                 network.space,
                 successor_list_size=successor_list_size,
             )
-            network._register(node)
+        # Bulk registration: one sort instead of n_nodes insorts (the
+        # repeated-memmove cost is what made >=100k-node builds crawl).
+        network._sorted_idents = sorted(nodes)
+        network._membership_generation += 1
+        network.fast_routing = fast_routing
+        network._lazy_fingers = fast_routing
         network.rebuild_ring_state()
         return network
 
     def _register(self, node: ChordNode) -> None:
         if node.ident in self._nodes:
             raise NetworkError(f"identifier collision at {node.ident}")
+        self._materialize_fingers()
         self._nodes[node.ident] = node
         bisect.insort(self._sorted_idents, node.ident)
+        self._membership_generation += 1
+        self._ring_exact = False
 
     def _unregister(self, node: ChordNode) -> None:
+        self._materialize_fingers()
         del self._nodes[node.ident]
         index = bisect.bisect_left(self._sorted_idents, node.ident)
         self._sorted_idents.pop(index)
+        self._membership_generation += 1
+        self._ring_exact = False
+
+    def _materialize_fingers(self) -> None:
+        """Build the deferred finger tables before membership changes.
+
+        A lazy-finger ring loses snapshot routing the moment membership
+        changes (the ring is no longer exact), so the object walk —
+        which needs real finger tables — must be ready first.
+        """
+        if self._lazy_fingers:
+            self._lazy_fingers = False
+            self.rebuild_ring_state()
 
     def rebuild_ring_state(self) -> None:
         """Set every pointer (successors, predecessors, fingers) exactly.
@@ -145,6 +194,7 @@ class ChordNetwork:
         """
         idents = self._sorted_idents
         count = len(idents)
+        lazy = self._lazy_fingers
         for position, ident in enumerate(idents):
             node = self._nodes[ident]
             successors = [
@@ -153,8 +203,41 @@ class ChordNetwork:
             ]
             node.successor_list = successors
             node.predecessor = self._nodes[idents[(position - 1) % count]] if count > 1 else node
-            for j in range(self.space.m):
-                node.fingers[j] = self._oracle_successor(node.finger_start(j))
+            if not lazy:
+                for j in range(self.space.m):
+                    node.fingers[j] = self._oracle_successor(node.finger_start(j))
+        self._ring_exact = True
+
+    # ------------------------------------------------------------------
+    # Snapshot routing
+    # ------------------------------------------------------------------
+    def enable_fast_routing(self) -> None:
+        """Turn on snapshot routing for an already-built exact ring."""
+        self.fast_routing = True
+
+    def ring_snapshot(self) -> Optional[RingSnapshot]:
+        """The current :class:`RingSnapshot`, or ``None`` when invalid.
+
+        A snapshot is only handed out while ``fast_routing`` is enabled
+        *and* the ring is exact (no membership change since the last
+        full rebuild).  Rebuilds are O(1)-amortized: membership changes
+        just bump a generation counter, and the sorted-array copy
+        happens at most once per generation, on first use.
+        """
+        if not self.fast_routing or not self._ring_exact or not self._nodes:
+            return None
+        snapshot = self._snapshot
+        if snapshot is None or snapshot.generation != self._membership_generation:
+            snapshot = RingSnapshot(
+                list(self._sorted_idents),
+                self.space.m,
+                self.successor_list_size,
+                generation=self._membership_generation,
+            )
+            self._snapshot = snapshot
+            if PERF.enabled:
+                PERF.count("snapshot.rebuilds")
+        return snapshot
 
     def _oracle_successor(self, ident: int) -> ChordNode:
         """Global-knowledge successor; only for construction and checks."""

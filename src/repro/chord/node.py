@@ -55,6 +55,7 @@ class ChordNode:
         "finger_cursor",
         "_handlers",
         "app",
+        "adopt_hook",
     )
 
     def __init__(
@@ -81,6 +82,10 @@ class ChordNode:
         #: Application-level state attached by the query-processing
         #: engine (a ``NodeState``); opaque to the DHT layer.
         self.app: object | None = None
+        #: Lazy-adoption callback: large-ring engines defer per-node
+        #: state and handler registration until a first message arrives
+        #: (``deliver`` calls ``adopt_hook(self)`` before giving up).
+        self.adopt_hook: Callable[["ChordNode"], object] | None = None
 
     # ------------------------------------------------------------------
     # Ring pointers
@@ -201,10 +206,14 @@ class ChordNode:
         """Hand a routed message to the registered application handler."""
         handler = self._handlers.get(message.type)
         if handler is None:
-            raise LookupError(
-                f"node {self.ident} has no handler for message type "
-                f"{message.type!r}"
-            )
+            if self.adopt_hook is not None:
+                self.adopt_hook(self)
+                handler = self._handlers.get(message.type)
+            if handler is None:
+                raise LookupError(
+                    f"node {self.ident} has no handler for message type "
+                    f"{message.type!r}"
+                )
         handler(self, message)
 
     # ------------------------------------------------------------------

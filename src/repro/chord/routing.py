@@ -64,6 +64,27 @@ class Router(Transport):
         #: bound is ``O(log N) <= m``, so hitting the limit means the
         #: ring is broken beyond best-effort repair.
         self.max_hops = 4 * space.m + 8
+        #: Back-reference to the owning :class:`ChordNetwork`, set by the
+        #: network at construction.  Used only to obtain ring snapshots
+        #: for the fast routing path; ``None`` keeps the object walk.
+        self.ring = None
+
+    def _live_snapshot(self):
+        """The ring snapshot when the fast path may be used, else ``None``.
+
+        The fast path replicates the *cooperative* object walk, so it
+        bows out whenever a fault injector can perturb deliveries (the
+        object path then owns retries/delays/fallbacks).  Crash churn is
+        covered separately: ``fail``/``leave``/``join`` invalidate the
+        snapshot at the network.
+        """
+        ring = self.ring
+        if ring is None:
+            return None
+        injector = self.injector
+        if injector is not None and injector.perturbs_delivery:
+            return None
+        return ring.ring_snapshot()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -75,6 +96,10 @@ class Router(Transport):
         the lookup to the farthest finger that does not overshoot
         ``ident``; the node responsible for ``ident`` keeps it.
         """
+        snapshot = self._live_snapshot()
+        if snapshot is not None and start.ident in snapshot:
+            position, hops = snapshot.find_successor(start.ident, ident)
+            return self.ring._nodes[snapshot.idents[position]], hops
         size = self.space.size
         max_hops = self.max_hops
         current = start
@@ -284,6 +309,9 @@ class Router(Transport):
         """
         if not idents:
             return []
+        snapshot = self._live_snapshot()
+        if snapshot is not None and source.ident in snapshot:
+            return self._multisend_recursive_fast(snapshot, source, messages, idents)
         order = self.space.sort_clockwise(source.ident, list(idents))
         pending: dict[int, list[int]] = {}
         for position, ident in enumerate(idents):
@@ -314,6 +342,53 @@ class Router(Transport):
             current = responsible
         self._record_mixed_batch(messages, total_hops)
         return [target if target is not None else current for target in targets]
+
+    def _multisend_recursive_fast(
+        self,
+        snapshot,
+        source: ChordNode,
+        messages: list[Message],
+        idents: Sequence[int],
+    ) -> list[ChordNode]:
+        """Snapshot-arithmetic replica of the recursive sweep.
+
+        Same clockwise traversal, same per-head walk semantics, same
+        mixed-batch accounting — only the per-hop object walks are
+        replaced by bisect lookups over the sorted identifier array, so
+        the hop totals and delivery order are identical to the object
+        path on any exact ring.
+        """
+        order = self.space.sort_clockwise(source.ident, list(idents))
+        pending: dict[int, list[int]] = {}
+        for position, ident in enumerate(idents):
+            pending.setdefault(ident, []).append(position)
+        targets: list[ChordNode | None] = [None] * len(idents)
+
+        ring_nodes = self.ring._nodes
+        ring_idents = snapshot.idents
+        walk_pos = snapshot.walk_pos
+        owns = snapshot.owns
+        cursor = 0
+        n_order = len(order)
+        pos = snapshot.position(source.ident)
+        responsible = source
+        total_hops = 0
+        while cursor < n_order:
+            head = order[cursor]
+            pos, hops = walk_pos(pos, head)
+            total_hops += hops
+            responsible = ring_nodes[ring_idents[pos]]
+            while cursor < n_order and owns(pos, order[cursor]):
+                ident = order[cursor]
+                cursor += 1
+                for position in pending[ident]:
+                    if targets[position] is None:
+                        targets[position] = self._deliver(
+                            messages[position], responsible
+                        )
+                        break
+        self._record_mixed_batch(messages, total_hops)
+        return [target if target is not None else responsible for target in targets]
 
     def _record_mixed_batch(self, messages: list[Message], total_hops: int) -> None:
         """Attribute a shared routing path to each message type.

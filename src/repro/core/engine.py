@@ -86,7 +86,17 @@ class EngineConfig:
     recursive_multisend: bool = True
     #: DAI-V keyed variant (``Hash(Key(q) + valJC)``, Section 4.5 end).
     daiv_keyed: bool = False
+    #: Defer per-node state/handler attachment until a first message
+    #: arrives (``None`` = automatic: lazy on fast-routing rings and on
+    #: rings of :data:`LAZY_ADOPTION_THRESHOLD`+ nodes).  Large-scale
+    #: sweeps touch a sparse subset of nodes, so eager adoption would
+    #: dominate setup time and memory.
+    lazy_adoption: Optional[bool] = None
     seed: int = 0
+
+
+#: Ring size at which engines switch to lazy adoption automatically.
+LAZY_ADOPTION_THRESHOLD = 8192
 
 
 class ContinuousQueryEngine:
@@ -133,9 +143,23 @@ class ContinuousQueryEngine:
         #: Callbacks fired on first delivery of each answer identity,
         #: keyed by query key (used by the multiway-join pipeline).
         self._notification_listeners: dict[str, list] = {}
+        #: Interception point for sharded execution: when set, evaluator
+        #: output is handed to ``gateway(from_node, notifications)``
+        #: instead of being shipped, so a driver can resolve
+        #: duplicate-suppression in global order at a barrier (see
+        #: :mod:`repro.sim.shard`).
+        self.notification_gateway = None
 
-        for node in network:
-            self.adopt(node)
+        lazy = self.config.lazy_adoption
+        if lazy is None:
+            lazy = network.fast_routing or len(network) >= LAZY_ADOPTION_THRESHOLD
+        if lazy:
+            adopt = self.adopt
+            for node in network:
+                node.adopt_hook = adopt
+        else:
+            for node in network:
+                self.adopt(node)
         network.transfer_hook = self._transfer
 
     @property
@@ -350,6 +374,10 @@ class ContinuousQueryEngine:
         ``emitted`` memory, so crash-recovery replay can legitimately
         re-create an answer — the filter keeps delivery exactly-once.
         """
+        gateway = self.notification_gateway
+        if gateway is not None:
+            gateway(from_node, notifications)
+            return
         for subscriber_ident, batch in group_by_subscriber(notifications).items():
             live = []
             for notification in batch:
@@ -449,7 +477,12 @@ class ContinuousQueryEngine:
         if self.config.window is None:
             return 0
         cutoff = self.clock.now - self.config.window
-        return sum(self.state(node).evict_expired(cutoff) for node in self.network)
+        # Un-adopted nodes (lazy rings) hold no state — nothing to evict.
+        return sum(
+            node.app.evict_expired(cutoff)
+            for node in self.network
+            if isinstance(node.app, NodeState)
+        )
 
     def load_snapshot(self) -> LoadSnapshot:
         """Per-node filtering/storage load vectors (see metrics module)."""

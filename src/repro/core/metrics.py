@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..sim import stats as distribution
+from .base import NodeState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import ContinuousQueryEngine
@@ -131,9 +132,26 @@ def snapshot(engine: "ContinuousQueryEngine") -> LoadSnapshot:
     processed: dict[int, int] = {}
     reinstalls: dict[int, int] = {}
     for node in engine.network:
-        state = engine.state(node)
-        breakdown = state.storage_breakdown()
         ident = node.ident
+        state = node.app
+        if not isinstance(state, NodeState):
+            # Lazily adopted ring: a node no message ever reached holds
+            # no engine state, so its load row is all zeros — recorded
+            # explicitly to keep the distribution vectors (Gini,
+            # participation, ...) over the same node population as an
+            # eagerly adopted ring.
+            filtering[ident] = 0
+            al_filtering[ident] = 0
+            vl_filtering[ident] = 0
+            storage[ident] = 0
+            al_storage[ident] = 0
+            vl_storage[ident] = 0
+            parked[ident] = 0
+            created[ident] = 0
+            processed[ident] = 0
+            reinstalls[ident] = 0
+            continue
+        breakdown = state.storage_breakdown()
         filtering[ident] = state.load.filtering
         al_filtering[ident] = state.load.attribute_level_filtering
         vl_filtering[ident] = state.load.value_level_filtering

@@ -1,0 +1,529 @@
+"""Sharded segment execution of the streaming phase (DESIGN.md §14).
+
+At large ring sizes the cost of an E14-style sweep point is dominated
+by handler execution at the nodes, and — fault-free, with replication
+and the JFRT off — the stream phase decomposes into *stages* whose
+work partitions cleanly across contiguous ring segments:
+
+* **stage 0** (driver): publish each tuple — compute its ``al-index``/
+  ``vl-index`` identifiers and route the multisend over the ring
+  snapshot.  Routing touches topology only, so it commutes with every
+  handler effect and is billed to the driver's traffic counters
+  exactly as a serial run would bill it.
+* **stage A** (workers): rewriters process ``al-index`` messages and
+  emit ``join`` messages.
+* **stage B** (workers): evaluators process ``vl-index`` and ``join``
+  messages and *propose* notifications through the engine's
+  ``notification_gateway`` instead of shipping them.
+* **barrier resolution** (driver): notification candidates from all
+  shards are replayed in global causal order against a mirror of the
+  subscriber-side duplicate filter, reproducing the serial
+  pre-hop suppression (and its hop accounting) exactly.
+* **stage C** (workers): subscribers record the surviving deliveries.
+
+**Why determinism survives the sharding.**  Every enqueued message
+carries a causal-path timestamp ``ts``: stage-0 publishes of the
+``k``-th stream event stamp their deliveries ``(k, 0), (k, 1), ...``
+and a handler processing a message stamped ``T`` stamps its own sends
+``T + (0,), T + (1,), ...`` — so lexicographic ``ts`` order *is* the
+depth-first execution order of the serial simulator.  Each worker
+sorts its per-stage inbox by ``ts`` before processing; since a node
+lives in exactly one shard, the messages any node processes are a
+``ts``-ordered subsequence of the serial order, and per-node state
+(the only state handlers mutate besides notifications) evolves
+identically.  Notifications are the one cross-node interaction — the
+engine-global duplicate filter makes suppression order-dependent —
+which is why they are resolved centrally, in global ``ts`` order, at
+the B→C barrier.
+
+Batching whole epochs of ``batch_size`` events per stage cycle is
+exact for the same reason: stage 0 commutes with handler work, and
+everything else is ordered by ``ts`` regardless of which epoch carried
+it.  The differential tests in ``tests/sim/test_shard.py`` assert
+bit-identical traffic counters and notification digests against
+:func:`repro.bench.harness.run_workload` for all four algorithms, both
+in-process and forked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+from ..chord.routing import Router
+from ..core.notifications import group_by_subscriber
+from ..perf import PERF
+from .messages import NotificationMessage
+from .stats import TrafficSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import ContinuousQueryEngine
+    from ..workload.generator import WorkloadEvent
+
+#: Message type → pipeline stage.  ``query``/``unsubscribe`` only occur
+#: during the serial install phase and are deliberately absent: seeing
+#: one mid-stream is a protocol violation, not a stage.
+STAGE_BY_TYPE = {
+    "al-index": "A",
+    "vl-index": "B",
+    "join": "B",
+    "notification": "C",
+}
+
+#: Stages whose items a phase may legitimately produce.
+PRODUCES = {
+    "publish": frozenset("AB"),
+    "A": frozenset("B"),
+    "B": frozenset(),  # evaluator output goes through the gateway
+    "C": frozenset(),
+}
+
+
+class ShardError(RuntimeError):
+    """A configuration or protocol violation of the sharded executor."""
+
+
+class ShardTransport(Router):
+    """A router that *stages* final deliveries instead of making them.
+
+    Inherits every routing decision (snapshot fast path included) and
+    all traffic accounting from :class:`~repro.chord.routing.Router`;
+    only the final hop is replaced: ``_deliver`` classifies the message
+    by type and appends ``(ts, time, target_ident, message)`` to the
+    stage buffer, to be processed at that node's shard after the next
+    barrier.  The ``ts`` counter is shared between deliveries and
+    gateway calls so both inherit the serial depth-first order.
+    """
+
+    def __init__(self, network):
+        router = network.router
+        super().__init__(router.space, stats=router.stats, injector=None)
+        self.ring = network
+        self._ts_prefix: tuple = ()
+        self._counter = 0
+        self.time = 0.0
+        self.allowed: frozenset = PRODUCES["publish"]
+        self.staged: dict[str, list] = {"A": [], "B": [], "C": []}
+        #: ``(ts, time, from_ident, notifications)`` gateway proposals.
+        self.candidates: list = []
+
+    def begin(self, ts: tuple, time: float) -> None:
+        """Enter the causal context of one message (or publish event)."""
+        self._ts_prefix = ts
+        self._counter = 0
+        self.time = time
+
+    def next_ts(self) -> tuple:
+        ts = self._ts_prefix + (self._counter,)
+        self._counter += 1
+        return ts
+
+    def drain(self) -> tuple[list, list, list, list]:
+        """Collected (stage A, stage B, stage C, candidates); resets."""
+        staged = self.staged
+        out = (staged["A"], staged["B"], staged["C"], self.candidates)
+        self.staged = {"A": [], "B": [], "C": []}
+        self.candidates = []
+        return out
+
+    def gateway(self, from_node, notifications) -> None:
+        """``engine.notification_gateway`` hook: park evaluator output."""
+        self.candidates.append(
+            (self.next_ts(), self.time, from_node.ident, tuple(notifications))
+        )
+
+    def _deliver(self, message, target, *, may_delay: bool = True):
+        del may_delay
+        stage = STAGE_BY_TYPE.get(message.type)
+        if stage is None or stage not in self.allowed:
+            raise ShardError(
+                f"message type {message.type!r} cannot be staged here; "
+                f"sharded execution supports the fault-free stream phase only"
+            )
+        self.staged[stage].append((self.next_ts(), self.time, target.ident, message))
+        return target
+
+
+def _process_stage(engine, transport: ShardTransport, items: list, phase: str) -> None:
+    """Run one shard's inbox for one stage, in causal (``ts``) order."""
+    items.sort(key=lambda item: item[0])
+    transport.allowed = PRODUCES[phase]
+    nodes = engine.network._nodes
+    clock = engine.clock
+    for ts, time, ident, message in items:
+        clock.advance_to(time)
+        transport.begin(ts, time)
+        nodes[ident].deliver(message)
+
+
+def delivered_pairs(engine) -> dict[str, list[tuple]]:
+    """``engine.delivered`` reduced to the digest-relevant pairs."""
+    return {
+        key: [(n.join_value_repr, repr(n.row)) for n in batch]
+        for key, batch in engine.delivered.items()
+    }
+
+
+def digest_of_pairs(delivered: dict[str, list[tuple]]) -> str:
+    """SHA-1 digest over canonical answer sets.
+
+    Byte-compatible with :func:`repro.bench.macro.notification_digest`:
+    both hash ``repr`` of the sorted ``(key, sorted(pairs))`` list.
+    """
+    canonical = sorted((key, sorted(pairs)) for key, pairs in delivered.items())
+    return hashlib.sha1(repr(canonical).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ShardRunResult:
+    """Metrics of one sharded stream run (macro-benchmark vocabulary)."""
+
+    install_traffic: TrafficSnapshot
+    stream_traffic: TrafficSnapshot
+    notifications_delivered: int
+    notification_digest: str
+    suppressed_renotifications: int
+    duplicate_deliveries: int
+    events: int
+    shards: int
+
+
+class _Resolver:
+    """Replays the serial pre-hop suppression at the B→C barrier.
+
+    Mirrors :meth:`ContinuousQueryEngine.deliver_notifications` over a
+    driver-local identity filter (separate from the engine's, which the
+    subscriber-side ``_record_delivery`` still maintains at stage C):
+    candidates are visited in global ``ts`` order, each subscriber
+    group is filtered, surviving identities join the mirror *before*
+    the next group is examined — exactly the serial interleaving of
+    filtering and synchronous delivery.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.mirror: dict[str, set] = {}
+        self.suppressed = 0
+
+    def resolve(self, candidates: list, stats) -> list:
+        """Turn candidates into stage-C items, billing notification hops."""
+        candidates.sort(key=lambda c: c[0])
+        engine = self.engine
+        queries = engine.queries
+        subscriber_nodes = engine._subscriber_nodes
+        presence = engine._presence
+        mirror = self.mirror
+        items = []
+        for ts, time, from_ident, notifications in candidates:
+            for index, (subscriber_ident, batch) in enumerate(
+                group_by_subscriber(notifications).items()
+            ):
+                live = []
+                for notification in batch:
+                    if notification.query_key not in queries:
+                        continue
+                    seen = mirror.get(notification.query_key)
+                    if seen is not None and notification.identity in seen:
+                        self.suppressed += 1
+                        continue
+                    live.append(notification)
+                if not live:
+                    continue
+                for notification in live:
+                    mirror.setdefault(notification.query_key, set()).add(
+                        notification.identity
+                    )
+                target = subscriber_nodes.get(subscriber_ident)
+                if (
+                    target is None
+                    or not target.alive
+                    or not presence.get(subscriber_ident, False)
+                ):
+                    raise ShardError(
+                        "sharded execution requires online, fault-free "
+                        "subscribers (routed notification fallback is a "
+                        "faulted-run path)"
+                    )
+                message = NotificationMessage(
+                    notifications=tuple(live), subscriber_ident=subscriber_ident
+                )
+                # ``send_direct`` accounting: one point-to-point hop,
+                # zero when the evaluator is the subscriber.
+                stats.record(message.type, 0 if from_ident == subscriber_ident else 1)
+                items.append((ts + (index,), time, subscriber_ident, message))
+        return items
+
+
+def _validate(engine) -> None:
+    config = engine.config
+    if config.window is not None:
+        raise ShardError("sharded execution requires an unbounded window")
+    if config.replication_factor != 1:
+        raise ShardError("sharded execution requires replication_factor=1")
+    if config.jfrt_capacity != 0:
+        raise ShardError("sharded execution requires the JFRT disabled")
+    injector = engine.network.injector
+    if injector is not None and injector.perturbs_delivery:
+        raise ShardError("sharded execution is fault-free only")
+
+
+def run_sharded(
+    engine: "ContinuousQueryEngine",
+    events: "Iterable[WorkloadEvent]",
+    *,
+    shards: int = 1,
+    batch_size: int = 512,
+    seed: int = 1,
+) -> ShardRunResult:
+    """Replay a workload with the stream phase sharded across segments.
+
+    ``events`` is any iterable of
+    :class:`~repro.workload.generator.WorkloadEvent` (a materialized
+    :class:`~repro.workload.generator.Workload` or the streaming
+    :func:`~repro.workload.generator.iter_workload_events`).  The
+    warmup/install prefix — everything up to the last query — is
+    replayed serially in-process, exactly like
+    :func:`repro.bench.harness.run_workload` (same RNG draw order for
+    origin nodes).  The remaining tuple stream runs in epochs of
+    ``batch_size`` events through the staged pipeline described in the
+    module docstring, on ``shards`` forked workers (``1`` = staged but
+    in-process, which is also the portability fallback when fork is
+    unavailable).
+
+    Returns metrics bit-comparable with a serial
+    :func:`~repro.bench.harness.run_workload` of the same engine
+    configuration: traffic counters, notification digest, delivery and
+    suppression counts.
+    """
+    from ..bench.parallel import fork_available
+
+    _validate(engine)
+    network = engine.network
+    rng = random.Random(seed)
+    clock = engine.clock
+
+    # ------------------------------------------------------------------
+    # Serial install phase: warmup tuples + query subscriptions.
+    # ------------------------------------------------------------------
+    source: Iterator = iter(events)
+    stream_head = None
+    seen_query = False
+    install_events = 0
+    for event in source:
+        if event.kind == "tuple" and seen_query:
+            stream_head = event
+            break
+        clock.advance_to(event.time)
+        origin = network.random_node(rng)
+        install_events += 1
+        if event.kind == "query":
+            seen_query = True
+            engine.subscribe(origin, event.payload)
+        else:
+            relation, values = event.payload
+            engine.publish(origin, relation, values)
+    install_snapshot = network.stats.snapshot()
+
+    if shards > 1 and not fork_available():  # pragma: no cover - platform
+        shards = 1
+
+    # Shard ownership: contiguous segments of the sorted identifier
+    # array.  Built before the fork so workers inherit it.
+    idents = network._sorted_idents
+    n = len(idents)
+    shard_by_ident = {
+        ident: position * shards // n for position, ident in enumerate(idents)
+    }
+
+    transport = ShardTransport(network)
+    previous_transport = network.use_transport(transport)
+    engine.notification_gateway = transport.gateway
+    resolver = _Resolver(engine)
+
+    pool = None
+    if shards > 1:
+        from ..bench.parallel import ShardPool
+
+        def worker_main(conn, index):
+            worker_transport = ShardTransport(network)
+            network.use_transport(worker_transport)
+            engine.notification_gateway = worker_transport.gateway
+            baseline = network.stats.snapshot()
+            duplicates_baseline = engine.duplicate_deliveries
+            try:
+                while True:
+                    command = conn.recv()
+                    if command[0] == "stage":
+                        _, phase, items = command
+                        _process_stage(engine, worker_transport, items, phase)
+                        a, b, c, candidates = worker_transport.drain()
+                        conn.send(("produced", a + b + c, candidates))
+                    elif command[0] == "finish":
+                        delivered = {
+                            key: pairs
+                            for key, pairs in delivered_pairs(engine).items()
+                            if shard_by_ident[
+                                engine.queries[key].subscriber.ident
+                            ] == index
+                        }
+                        conn.send(
+                            (
+                                "final",
+                                network.stats.since(baseline),
+                                delivered,
+                                engine.duplicate_deliveries - duplicates_baseline,
+                            )
+                        )
+                        return
+                    else:  # pragma: no cover - protocol guard
+                        raise ShardError(f"unknown command {command[0]!r}")
+            except Exception as error:  # pragma: no cover - debug aid
+                import traceback
+
+                conn.send(("error", f"{error}\n{traceback.format_exc()}"))
+                raise
+            finally:
+                conn.close()
+
+        pool = ShardPool(shards, worker_main)
+
+    def run_stage(phase: str, items: list) -> tuple[list, list]:
+        """Execute one stage everywhere; returns (produced, candidates)."""
+        if pool is None:
+            _process_stage(engine, transport, items, phase)
+            a, b, c, candidates = transport.drain()
+            return a + b + c, candidates
+        partitions: list[list] = [[] for _ in range(shards)]
+        for item in items:
+            partitions[shard_by_ident[item[2]]].append(item)
+        pool.scatter([("stage", phase, part) for part in partitions])
+        if PERF.enabled:
+            PERF.count("shard.barrier.exchanges")
+            PERF.count("shard.barrier.items", len(items))
+        produced: list = []
+        candidates: list = []
+        for reply in pool.gather():
+            if reply[0] == "error":
+                raise ShardError(f"shard worker failed:\n{reply[1]}")
+            produced.extend(reply[1])
+            candidates.extend(reply[2])
+        return produced, candidates
+
+    def split_stages(items: list) -> tuple[list, list]:
+        stage_a, stage_b = [], []
+        for item in items:
+            (stage_a if STAGE_BY_TYPE[item[3].type] == "A" else stage_b).append(item)
+        return stage_a, stage_b
+
+    # ------------------------------------------------------------------
+    # Epoch loop over the tuple stream.
+    # ------------------------------------------------------------------
+    stream_events = 0
+    sequence = 0
+    try:
+        while True:
+            batch = []
+            if stream_head is not None:
+                batch.append(stream_head)
+                stream_head = None
+            while len(batch) < batch_size:
+                event = next(source, None)
+                if event is None:
+                    break
+                batch.append(event)
+            if not batch:
+                break
+            transport.allowed = PRODUCES["publish"]
+            for event in batch:
+                if event.kind != "tuple":
+                    raise ShardError(
+                        "query subscriptions after the stream began are "
+                        "not supported in sharded execution"
+                    )
+                clock.advance_to(event.time)
+                origin = network.random_node(rng)
+                sequence += 1
+                transport.begin((sequence,), event.time)
+                relation, values = event.payload
+                engine.publish(origin, relation, values)
+            stream_events += len(batch)
+            if PERF.enabled:
+                PERF.count("shard.epochs")
+                PERF.count("shard.batch.events", len(batch))
+            stage_a, stage_b, stage_c, candidates = transport.drain()
+            if stage_c or candidates:  # pragma: no cover - protocol guard
+                raise ShardError("publishing produced post-barrier work")
+            produced, candidates_a = run_stage("A", stage_a)
+            misplaced, joins = split_stages(produced)
+            if misplaced:  # pragma: no cover - protocol guard
+                raise ShardError("stage A produced attribute-level messages")
+            produced_b, candidates_b = run_stage("B", stage_b + joins)
+            if produced_b:  # pragma: no cover - protocol guard
+                raise ShardError("stage B produced staged messages")
+            stage_c_items = resolver.resolve(
+                candidates_a + candidates_b, network.stats
+            )
+            produced_c, candidates_c = run_stage("C", stage_c_items)
+            if produced_c or candidates_c:  # pragma: no cover - protocol guard
+                raise ShardError("stage C produced further work")
+
+        # --------------------------------------------------------------
+        # Merge
+        # --------------------------------------------------------------
+        if pool is None:
+            delivered = delivered_pairs(engine)
+            duplicate_deliveries = engine.duplicate_deliveries
+            stream_snapshot = network.stats.since(install_snapshot)
+        else:
+            for shard in range(shards):
+                pool.send(shard, ("finish",))
+            delivered = {}
+            duplicate_deliveries = engine.duplicate_deliveries
+            stream_snapshot = network.stats.since(install_snapshot)
+            for reply in pool.gather():
+                if reply[0] == "error":
+                    raise ShardError(f"shard worker failed:\n{reply[1]}")
+                _, delta, worker_delivered, worker_duplicates = reply
+                delivered.update(worker_delivered)
+                duplicate_deliveries += worker_duplicates
+                stream_snapshot = TrafficSnapshot(
+                    hops=stream_snapshot.hops + delta.hops,
+                    messages=stream_snapshot.messages + delta.messages,
+                    hops_by_type=_merge_counts(
+                        stream_snapshot.hops_by_type, delta.hops_by_type
+                    ),
+                    messages_by_type=_merge_counts(
+                        stream_snapshot.messages_by_type, delta.messages_by_type
+                    ),
+                    messages_dropped=stream_snapshot.messages_dropped
+                    + delta.messages_dropped,
+                    retries=stream_snapshot.retries + delta.retries,
+                    messages_delayed=stream_snapshot.messages_delayed
+                    + delta.messages_delayed,
+                )
+    finally:
+        network.use_transport(previous_transport)
+        engine.notification_gateway = None
+        if pool is not None:
+            pool.close()
+
+    return ShardRunResult(
+        install_traffic=install_snapshot,
+        stream_traffic=stream_snapshot,
+        notifications_delivered=sum(len(pairs) for pairs in delivered.values()),
+        notification_digest=digest_of_pairs(delivered),
+        suppressed_renotifications=engine.suppressed_renotifications
+        + resolver.suppressed,
+        duplicate_deliveries=duplicate_deliveries,
+        events=install_events + stream_events,
+        shards=shards,
+    )
+
+
+def _merge_counts(left: dict, right: dict) -> dict:
+    merged = dict(left)
+    for key, value in right.items():
+        merged[key] = merged.get(key, 0) + value
+    return merged

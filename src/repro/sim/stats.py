@@ -16,8 +16,7 @@ per-node vectors into the distribution statistics the figures plot.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,28 +34,47 @@ class TrafficSnapshot:
     messages_delayed: int = 0
 
 
-@dataclass
 class TrafficStats:
-    """Mutable hop/message counters shared by one network's router."""
+    """Mutable hop/message counters shared by one network's router.
 
-    hops: int = 0
-    messages: int = 0
-    hops_by_type: Counter = field(default_factory=Counter)
-    messages_by_type: Counter = field(default_factory=Counter)
-    #: Fault accounting (all stay 0 without an active fault plan):
-    #: delivery attempts lost in transit, retransmissions after a loss,
-    #: and deliveries deferred by injected delay.
-    messages_dropped: int = 0
-    retries: int = 0
-    messages_delayed: int = 0
-    dropped_by_type: Counter = field(default_factory=Counter)
+    ``record``/``record_batch`` sit on the per-message hot path of the
+    simulator, so this is a ``__slots__`` class over plain dicts: no
+    per-instance ``__dict__``, no :class:`collections.Counter` dispatch
+    overhead, and no allocation once a message type has been seen.
+    """
+
+    __slots__ = (
+        "hops",
+        "messages",
+        "hops_by_type",
+        "messages_by_type",
+        "messages_dropped",
+        "retries",
+        "messages_delayed",
+        "dropped_by_type",
+    )
+
+    def __init__(self) -> None:
+        self.hops = 0
+        self.messages = 0
+        self.hops_by_type: dict[str, int] = {}
+        self.messages_by_type: dict[str, int] = {}
+        #: Fault accounting (all stay 0 without an active fault plan):
+        #: delivery attempts lost in transit, retransmissions after a
+        #: loss, and deliveries deferred by injected delay.
+        self.messages_dropped = 0
+        self.retries = 0
+        self.messages_delayed = 0
+        self.dropped_by_type: dict[str, int] = {}
 
     def record(self, message_type: str, hops: int) -> None:
         """Account one routed message that took ``hops`` overlay hops."""
         self.hops += hops
         self.messages += 1
-        self.hops_by_type[message_type] += hops
-        self.messages_by_type[message_type] += 1
+        hops_by_type = self.hops_by_type
+        hops_by_type[message_type] = hops_by_type.get(message_type, 0) + hops
+        messages_by_type = self.messages_by_type
+        messages_by_type[message_type] = messages_by_type.get(message_type, 0) + 1
 
     def record_batch(self, message_type: str, message_count: int, hops: int) -> None:
         """Account a batch of messages that shared a routing path.
@@ -67,8 +85,12 @@ class TrafficStats:
         """
         self.hops += hops
         self.messages += message_count
-        self.hops_by_type[message_type] += hops
-        self.messages_by_type[message_type] += message_count
+        hops_by_type = self.hops_by_type
+        hops_by_type[message_type] = hops_by_type.get(message_type, 0) + hops
+        messages_by_type = self.messages_by_type
+        messages_by_type[message_type] = (
+            messages_by_type.get(message_type, 0) + message_count
+        )
 
     def record_hops(self, message_type: str, hops: int) -> None:
         """Account extra hops that are not a standalone message.
@@ -77,12 +99,14 @@ class TrafficStats:
         where the figure of interest is hop count only.
         """
         self.hops += hops
-        self.hops_by_type[message_type] += hops
+        hops_by_type = self.hops_by_type
+        hops_by_type[message_type] = hops_by_type.get(message_type, 0) + hops
 
     def record_drop(self, message_type: str) -> None:
         """Account one delivery attempt lost by fault injection."""
         self.messages_dropped += 1
-        self.dropped_by_type[message_type] += 1
+        dropped = self.dropped_by_type
+        dropped[message_type] = dropped.get(message_type, 0) + 1
 
     def record_retry(self, message_type: str) -> None:
         """Account one retransmission after a dropped attempt."""
@@ -136,7 +160,6 @@ class TrafficStats:
         self.dropped_by_type.clear()
 
 
-@dataclass
 class NodeLoad:
     """Per-node load counters (filtering load; storage is derived).
 
@@ -145,17 +168,31 @@ class NodeLoad:
     bucket each incoming message is matched against.  ``attribute_level``
     and ``value_level`` split the same quantity by the indexing level so
     the rewriter/evaluator roles can be reported separately.
+
+    One instance per simulated node, touched on every message a node
+    processes — ``__slots__`` keeps the million-node footprint and the
+    attribute access cost down.
     """
 
-    filtering: int = 0
-    attribute_level_filtering: int = 0
-    value_level_filtering: int = 0
-    messages_processed: int = 0
-    notifications_created: int = 0
-    #: Lease refreshes that actually *restored* a query copy this node
-    #: was missing (crash recovery); refreshes of present copies are
-    #: deduplicated and not counted.
-    lease_reinstalls: int = 0
+    __slots__ = (
+        "filtering",
+        "attribute_level_filtering",
+        "value_level_filtering",
+        "messages_processed",
+        "notifications_created",
+        "lease_reinstalls",
+    )
+
+    def __init__(self) -> None:
+        self.filtering = 0
+        self.attribute_level_filtering = 0
+        self.value_level_filtering = 0
+        self.messages_processed = 0
+        self.notifications_created = 0
+        #: Lease refreshes that actually *restored* a query copy this
+        #: node was missing (crash recovery); refreshes of present
+        #: copies are deduplicated and not counted.
+        self.lease_reinstalls = 0
 
     def add_attribute_level(self, candidates: int) -> None:
         """Account a filtering step performed by a rewriter."""

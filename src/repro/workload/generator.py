@@ -230,35 +230,54 @@ class WorkloadGenerator:
         return self.schema.relation(self.rng.choices(names, weights=weights, k=1)[0])
 
 
-def build_workload(
-    params: WorkloadParams, schema: Optional[Schema] = None
-) -> Workload:
-    """Assemble the standard experiment workload.
+def iter_workload_events(
+    params: WorkloadParams, schema: Schema
+) -> Iterator[WorkloadEvent]:
+    """Stream the standard experiment workload one event at a time.
 
     Queries are installed first (at ``query_interval`` spacing), then
     tuples stream in at ``tuple_interval`` spacing — matching the
     paper's continuous-query semantics where only tuples published
     after a subscription can trigger it.
+
+    The RNG draw order is exactly that of :func:`build_workload` (which
+    delegates here), so the streamed sequence is element-for-element
+    identical to the materialized one; large-scale sweeps iterate this
+    directly and never hold millions of :class:`WorkloadEvent` objects
+    at once (see :meth:`repro.sim.simulator.Simulator.run_stream`).
     """
-    if schema is None:
-        schema = synthetic_schema(
-            params.n_relations, params.attributes_per_relation
-        )
     generator = WorkloadGenerator(schema, params)
-    events: list[WorkloadEvent] = []
     now = 0.0
     for _ in range(params.warmup_tuples):
         relation = generator.pick_stream_relation()
         values = generator.random_tuple_values(relation)
-        events.append(WorkloadEvent(now, "tuple", (relation, values)))
+        yield WorkloadEvent(now, "tuple", (relation, values))
         now += params.tuple_interval
     for _ in range(params.n_queries):
-        events.append(WorkloadEvent(now, "query", generator.random_query()))
+        yield WorkloadEvent(now, "query", generator.random_query())
         now += params.query_interval
     now += 1.0  # queries precede the stream
     for _ in range(params.n_tuples):
         relation = generator.pick_stream_relation()
         values = generator.random_tuple_values(relation)
-        events.append(WorkloadEvent(now, "tuple", (relation, values)))
+        yield WorkloadEvent(now, "tuple", (relation, values))
         now += params.tuple_interval
-    return Workload(schema=schema, events=events, params=params)
+
+
+def build_workload(
+    params: WorkloadParams, schema: Optional[Schema] = None
+) -> Workload:
+    """Assemble the standard experiment workload as a replayable list.
+
+    Thin materializing wrapper over :func:`iter_workload_events`; use
+    the iterator directly when the workload is too large to hold.
+    """
+    if schema is None:
+        schema = synthetic_schema(
+            params.n_relations, params.attributes_per_relation
+        )
+    return Workload(
+        schema=schema,
+        events=list(iter_workload_events(params, schema)),
+        params=params,
+    )

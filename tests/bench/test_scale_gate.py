@@ -1,0 +1,98 @@
+"""Tests for the large-scale sweep benchmark and its CI gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.configs import Scale
+from repro.bench.macro import compare_reports
+from repro.bench.scale import (
+    SCALE_BENCH_NAME,
+    run_scale,
+    scale_point,
+    verify_equivalence,
+)
+
+TINY = Scale(
+    name="scale-tiny",
+    n_nodes=48,
+    n_queries=16,
+    n_tuples=32,
+    domain_size=30,
+    zipf_s=0.75,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_scale(TINY, algorithms=("sai", "dai-t"), shards=1, batch_size=8)
+
+
+class TestReportShape:
+    def test_identity_fields(self, report):
+        assert report["name"] == SCALE_BENCH_NAME
+        assert report["point"]["n_nodes"] == TINY.n_nodes
+        assert report["point"]["batch_size"] == 8
+        assert set(report["metrics"]) == {"sai", "dai-t"}
+        assert set(report["wall_seconds"]) == {"sai", "dai-t", "total"}
+
+    def test_metrics_vocabulary(self, report):
+        for metrics in report["metrics"].values():
+            assert set(metrics) == {
+                "hops",
+                "messages",
+                "stream_hops_by_type",
+                "stream_messages_by_type",
+                "notifications_delivered",
+                "notification_digest",
+            }
+
+    def test_json_round_trip(self, report):
+        assert json.loads(json.dumps(report)) == report
+
+
+class TestGate:
+    def test_self_comparison_passes(self, report):
+        assert compare_reports(report, copy.deepcopy(report), 0.25) == []
+
+    def test_metric_drift_fails(self, report):
+        tampered = copy.deepcopy(report)
+        tampered["metrics"]["sai"]["hops"] += 1
+        problems = compare_reports(tampered, report, 0.25)
+        assert problems and any("sai" in p for p in problems)
+
+    def test_wall_regression_fails(self, report):
+        slower = copy.deepcopy(report)
+        slower["wall_seconds"]["total"] = report["wall_seconds"]["total"] * 2 + 1
+        problems = compare_reports(slower, report, 0.25)
+        assert problems and any("wall" in p.lower() for p in problems)
+
+    def test_repeats_are_deterministic(self):
+        # run_scale itself raises if repeated metrics disagree.
+        run_scale(TINY, algorithms=("sai",), repeats=2, shards=1, batch_size=8)
+
+
+class TestCommittedBaseline:
+    def test_baseline_matches_cli_defaults(self):
+        """BENCH_sim_scale.json must be comparable to the CI invocation."""
+        path = Path(__file__).resolve().parents[2] / "BENCH_sim_scale.json"
+        baseline = json.loads(path.read_text())
+        assert baseline["name"] == SCALE_BENCH_NAME
+        point = scale_point(20_000)
+        assert baseline["point"]["n_nodes"] == point.n_nodes
+        assert baseline["point"]["n_queries"] == point.n_queries
+        assert baseline["point"]["n_tuples"] == point.n_tuples
+        assert baseline["point"]["batch_size"] == 512
+        assert set(baseline["metrics"]) == {"sai", "dai-q", "dai-t", "dai-v"}
+        for metrics in baseline["metrics"].values():
+            assert metrics["notification_digest"]
+
+
+class TestVerifySmall:
+    def test_verify_equivalence_at_small_ring(self):
+        """The --verify differential at unit-test scale, one algorithm."""
+        assert verify_equivalence(n_nodes=64, algorithms=("sai",)) == []

@@ -93,6 +93,50 @@ class TestInstrumentedSites:
         assert "vlqt.evicted" in counters
         assert counters.get("hash.parts_hit", 0) > 0
 
+    def test_scale_counters_record(self):
+        """The §14 fast-path sites: snapshot rebuilds, epochs, batches."""
+        from repro.bench.configs import Scale
+        from repro.bench.harness import workload_for
+        from repro.chord.network import ChordNetwork
+        from repro.core.engine import ContinuousQueryEngine, EngineConfig
+        from repro.sim.shard import run_sharded
+
+        tiny = Scale("tiny", n_nodes=24, n_queries=8, n_tuples=20, domain_size=30)
+        workload = workload_for(tiny)
+        network = ChordNetwork.build(tiny.n_nodes, fast_routing=True)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm="sai", index_choice="random", seed=1)
+        )
+        PERF.reset()
+        PERF.enable()
+        try:
+            run_sharded(engine, workload, shards=1, batch_size=8)
+        finally:
+            PERF.disable()
+        counters = PERF.snapshot()["counters"]
+        PERF.reset()
+        assert counters.get("snapshot.rebuilds", 0) >= 1
+        assert counters.get("shard.epochs", 0) >= tiny.n_tuples // 8
+        assert counters.get("shard.batch.events", 0) == tiny.n_tuples
+
+    def test_scale_counters_zero_overhead_when_disabled(self):
+        """Disabled registry: the same run records nothing at all."""
+        from repro.bench.configs import Scale
+        from repro.bench.harness import workload_for
+        from repro.chord.network import ChordNetwork
+        from repro.core.engine import ContinuousQueryEngine, EngineConfig
+        from repro.sim.shard import run_sharded
+
+        tiny = Scale("tiny", n_nodes=24, n_queries=8, n_tuples=20, domain_size=30)
+        network = ChordNetwork.build(tiny.n_nodes, fast_routing=True)
+        engine = ContinuousQueryEngine(
+            network, EngineConfig(algorithm="sai", index_choice="random", seed=1)
+        )
+        assert PERF.enabled is False
+        run_sharded(engine, workload_for(tiny), shards=1, batch_size=8)
+        assert PERF.snapshot()["counters"] == {}
+        assert PERF.snapshot()["timers"] == {}
+
     def test_global_registry_disabled_in_tests(self):
         # REPRO_PERF is not set for the suite, so instrumented hot paths
         # must run with the zero-overhead branch.

@@ -1,0 +1,115 @@
+"""Tests for the flat batch buffer and the streaming dispatch loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord.network import ChordNetwork
+from repro.perf import PERF
+from repro.sim.events import EventRing
+from repro.sim.simulator import Simulator
+
+
+def triples(n, start=0.0):
+    return [(start + float(i), f"target-{i}", i) for i in range(n)]
+
+
+class TestEventRing:
+    def test_refill_fills_up_to_capacity(self):
+        ring = EventRing(capacity=4)
+        source = iter(triples(10))
+        assert ring.refill(source) == 4
+        assert len(ring) == 4
+        assert list(ring.times[:4]) == [0.0, 1.0, 2.0, 3.0]
+        assert ring.targets[:4] == ["target-0", "target-1", "target-2", "target-3"]
+        # The same iterator continues where the first batch stopped.
+        assert ring.refill(source) == 4
+        assert ring.payloads[:4] == [4, 5, 6, 7]
+        assert ring.refill(source) == 2
+        assert ring.refill(source) == 0
+
+    def test_generation_bumps_per_refill(self):
+        ring = EventRing(capacity=2)
+        generation = ring.generation
+        ring.refill(iter(triples(2)))
+        assert ring.generation == generation + 1
+        ring.refill(iter(triples(2)))
+        assert ring.generation == generation + 2
+
+    def test_decreasing_times_rejected(self):
+        ring = EventRing(capacity=8)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ring.refill(iter([(1.0, None, None), (0.5, None, None)]))
+
+    def test_equal_times_allowed(self):
+        ring = EventRing(capacity=8)
+        assert ring.refill(iter([(1.0, None, 1), (1.0, None, 2)])) == 2
+
+    def test_clear_drops_references(self):
+        ring = EventRing(capacity=4)
+        ring.refill(iter(triples(3)))
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.targets == [None] * 4
+        assert ring.payloads == [None] * 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+    def test_perf_counters_when_enabled(self):
+        ring = EventRing(capacity=4)
+        PERF.reset()
+        PERF.enable()
+        try:
+            source = iter(triples(6))
+            ring.refill(source)
+            ring.refill(source)
+        finally:
+            PERF.disable()
+        counters = PERF.snapshot()["counters"]
+        PERF.reset()
+        assert counters["events.batches"] == 2
+        assert counters["events.batched"] == 6
+
+
+class TestRunStream:
+    def test_dispatches_in_order_and_advances_clock(self):
+        simulator = Simulator(ChordNetwork.build(2))
+        seen = []
+        dispatched = simulator.run_stream(
+            iter(triples(10)),
+            lambda target, payload: seen.append((simulator.now, target, payload)),
+            batch=3,
+        )
+        assert dispatched == 10
+        assert simulator.events_executed == 10
+        assert [payload for _, _, payload in seen] == list(range(10))
+        assert [time for time, _, _ in seen] == [float(i) for i in range(10)]
+        assert simulator.now == 9.0
+
+    def test_empty_stream(self):
+        simulator = Simulator(ChordNetwork.build(2))
+        assert simulator.run_stream(iter(()), lambda t, p: None) == 0
+
+    def test_matches_heap_queue_execution(self):
+        """The ring dispatch and the heap queue run identical schedules."""
+        events = triples(25)
+
+        streamed = []
+        simulator = Simulator(ChordNetwork.build(2))
+        simulator.run_stream(
+            iter(events),
+            lambda target, payload: streamed.append((simulator.now, payload)),
+            batch=7,
+        )
+
+        queued = []
+        reference = Simulator(ChordNetwork.build(2))
+        for time, _, payload in events:
+            reference.at(
+                time, lambda p=payload: queued.append((reference.now, p))
+            )
+        reference.run()
+
+        assert streamed == queued
