@@ -20,6 +20,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import bench_barrier
 import bench_events
 import bench_hashing
 import bench_multisend
@@ -37,6 +38,7 @@ SUITES = (
     bench_multisend,
     bench_rewrite,
     bench_events,
+    bench_barrier,
     bench_codec,
 )
 

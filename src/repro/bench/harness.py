@@ -41,6 +41,10 @@ class RunResult:
     load: LoadSnapshot
     per_tuple_hops: list[int] = field(default_factory=list)
     oracle: Optional[CentralizedOracle] = None
+    #: Sliding-window items evicted over the replay (0 when unbounded).
+    #: Deterministic for a seeded workload, so differential checks can
+    #: compare it across execution modes like any other metric.
+    evictions: int = 0
 
     @property
     def hops_per_tuple(self) -> float:
@@ -129,6 +133,7 @@ def run_workload(
     stream_start = install_start
     in_stream_phase = False
     events_since_evict = 0
+    evictions = 0
 
     for event in workload:
         engine.clock.advance_to(event.time)
@@ -153,11 +158,11 @@ def run_workload(
                 oracle.insert(tup)
         events_since_evict += 1
         if engine.config.window is not None and events_since_evict >= evict_every:
-            engine.evict_expired()
+            evictions += engine.evict_expired()
             events_since_evict = 0
 
     if engine.config.window is not None:
-        engine.evict_expired()
+        evictions += engine.evict_expired()
     end = engine.traffic.snapshot()
     install_traffic = _diff(stream_start, install_start)
     stream_traffic = _diff(end, stream_start)
@@ -170,6 +175,7 @@ def run_workload(
         load=engine.load_snapshot(),
         per_tuple_hops=per_tuple_hops,
         oracle=oracle,
+        evictions=evictions,
     )
 
 
@@ -196,6 +202,7 @@ def run_standard(
     workload: Workload | None = None,
     seed: int = 1,
     collect_per_tuple_hops: bool = False,
+    evict_every: int = 64,
     **workload_overrides,
 ) -> RunResult:
     """One-call experiment: engine + workload + replay.
@@ -214,4 +221,5 @@ def run_standard(
         workload,
         seed=seed,
         collect_per_tuple_hops=collect_per_tuple_hops,
+        evict_every=evict_every,
     )

@@ -123,6 +123,11 @@ class ShardPool:
         for conn, payload in zip(self._conns, payloads):
             conn.send(payload)
 
+    def broadcast(self, payload) -> None:
+        """Send the same payload to every shard (one pickle per pipe)."""
+        for conn in self._conns:
+            conn.send(payload)
+
     def gather(self) -> list:
         """Receive one reply from every shard, in shard order."""
         return [conn.recv() for conn in self._conns]

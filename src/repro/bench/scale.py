@@ -14,14 +14,26 @@ Two modes:
 ``python -m repro.bench.scale --verify``
     Differential check at a small ring: the staged executor —
     in-process *and* forked — must produce **bit-identical** simulated
-    metrics (hops, messages, per-type traffic, notification digest) to
-    the serial :func:`~repro.bench.harness.run_standard` reference for
-    all four algorithms.  Exits non-zero on any difference.
+    metrics (hops, messages, per-type traffic, notification digest,
+    eviction counts) to the serial
+    :func:`~repro.bench.harness.run_standard` reference for all four
+    algorithms, in **two configurations**: the stripped engine, and
+    the full feature set (sliding window + replication + JFRT)
+    exercising the lifted sharded modes of DESIGN.md §15.  Exits
+    non-zero on any difference.
 
 ``python -m repro.bench.scale --nodes 100000 [--output/--compare]``
     Run one sweep point and (optionally) gate it against a committed
     baseline, mirroring :mod:`repro.bench.macro`: simulated metrics
     must match exactly, wall-clock may drift at most ``--threshold``.
+    ``--window/--replication/--jfrt/--evict-every`` compose with the
+    scale axes; every report carries a ``resources`` section (peak
+    RSS via ``getrusage`` — self *and* forked children — plus
+    events/sec and cross-shard exchange records) next to the
+    simulated metrics.  ``--append-extra BENCH_sim_scale.json``
+    records a one-off large point under the baseline's
+    ``extra_points`` list, which the CI gate ignores (EXPERIMENTS
+    X3 documents the committed 10^6-node point).
 
 Shard count follows ``REPRO_BENCH_PROCS`` (see
 :mod:`repro.bench.parallel`); ``--shards`` overrides it.
@@ -33,6 +45,7 @@ import argparse
 import json
 import os
 import platform
+import resource
 import sys
 import time
 from typing import Optional, Sequence
@@ -66,6 +79,30 @@ VERIFY_NODES = 512
 
 #: Events per staged epoch (driver → workers → barrier → repeat).
 DEFAULT_BATCH_SIZE = 512
+
+#: Serial eviction schedule (events per sweep), matching
+#: :func:`repro.bench.harness.run_workload`.
+DEFAULT_EVICT_EVERY = 64
+
+#: The ``--verify`` configuration exercising every lifted mode at once:
+#: sliding window + replicated rewriters + JFRT (see
+#: :func:`repro.sim.shard.shard_capabilities`).
+VERIFY_FEATURED = {"window": 240.0, "replication_factor": 2, "jfrt_capacity": 8}
+
+
+def peak_rss_kb() -> int:
+    """Lifetime peak resident set size of this process tree, in KiB.
+
+    ``getrusage`` is zero-dependency and monotone: the max of SELF and
+    CHILDREN covers both in-process and forked shard runs.  Linux
+    reports ``ru_maxrss`` in KiB; macOS reports bytes.
+    """
+    self_max = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_max = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    peak = max(self_max, children_max)
+    if sys.platform == "darwin":  # pragma: no cover - platform dependent
+        peak //= 1024
+    return peak
 
 
 def scale_point(
@@ -109,6 +146,7 @@ def _result_metrics(result: ShardRunResult) -> dict:
         "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
         "notifications_delivered": result.notifications_delivered,
         "notification_digest": result.notification_digest,
+        "evictions": result.evictions,
     }
 
 
@@ -119,11 +157,17 @@ def run_scale_point(
     seed: int = 1,
     shards: Optional[int] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    config_overrides: Optional[dict] = None,
+    evict_every: int = DEFAULT_EVICT_EVERY,
 ) -> dict:
     """One algorithm at one sweep point through the full fast path.
 
     Wall-clock covers everything a bigger ring makes slower — network
     build, query install, sharded stream — reported per phase.
+    ``config_overrides`` opens the lifted modes (``window``,
+    ``replication_factor``, ``jfrt_capacity``); peak RSS and events/sec
+    ride along as *resource* columns, deliberately outside the
+    bit-compared metrics (they are machine-dependent).
     """
     if shards is None:
         shards = default_shards()
@@ -133,7 +177,13 @@ def run_scale_point(
     network = ChordNetwork.build(point.n_nodes, fast_routing=True)
     built = time.perf_counter()
     engine = ContinuousQueryEngine(
-        network, EngineConfig(algorithm=algorithm, index_choice="random", seed=seed)
+        network,
+        EngineConfig(
+            algorithm=algorithm,
+            index_choice="random",
+            seed=seed,
+            **dict(config_overrides or {}),
+        ),
     )
     result = run_sharded(
         engine,
@@ -141,6 +191,7 @@ def run_scale_point(
         shards=shards,
         batch_size=batch_size,
         seed=seed,
+        evict_every=evict_every,
     )
     wall = time.perf_counter() - start
     return {
@@ -148,6 +199,12 @@ def run_scale_point(
         "build_seconds": built - start,
         "shards": result.shards,
         "metrics": _result_metrics(result),
+        "resources": {
+            "peak_rss_kb": peak_rss_kb(),
+            "events_per_sec": round(result.events / wall, 1) if wall else 0.0,
+            "exchange_records": result.exchange_records,
+        },
+        "features": list(result.features),
     }
 
 
@@ -159,19 +216,32 @@ def run_scale(
     repeats: int = 1,
     shards: Optional[int] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    config_overrides: Optional[dict] = None,
+    evict_every: int = DEFAULT_EVICT_EVERY,
 ) -> dict:
     """Run the sweep point for every algorithm; returns the report dict.
 
     Repeats keep the minimum wall-clock but must agree on the simulated
-    metrics, as in :func:`repro.bench.macro.run_macro`.
+    metrics, as in :func:`repro.bench.macro.run_macro`.  The engine
+    feature knobs are recorded in the report's ``point`` so a baseline
+    generated under one configuration can never silently gate another;
+    the ``resources`` section (peak RSS, events/sec) is informational
+    and excluded from the exact compare.
     """
+    overrides = dict(config_overrides or {})
     per_algorithm: dict[str, dict] = {}
     for algorithm in algorithms:
         hash_key_cache_clear()
         best: Optional[dict] = None
         for _ in range(max(1, repeats)):
             sample = run_scale_point(
-                algorithm, point, seed=seed, shards=shards, batch_size=batch_size
+                algorithm,
+                point,
+                seed=seed,
+                shards=shards,
+                batch_size=batch_size,
+                config_overrides=overrides,
+                evict_every=evict_every,
             )
             if best is None:
                 best = sample
@@ -184,9 +254,11 @@ def run_scale(
                 if sample["wall_seconds"] < best["wall_seconds"]:
                     best["wall_seconds"] = sample["wall_seconds"]
                     best["build_seconds"] = sample["build_seconds"]
+                    best["resources"] = sample["resources"]
             hash_key_cache_clear()
         per_algorithm[algorithm] = best
     total_wall = sum(entry["wall_seconds"] for entry in per_algorithm.values())
+    features = next(iter(per_algorithm.values()))["features"] if per_algorithm else []
     return {
         "name": SCALE_BENCH_NAME,
         "point": {
@@ -196,8 +268,13 @@ def run_scale(
             "domain_size": point.domain_size,
             "zipf_s": point.zipf_s,
             "batch_size": batch_size,
+            "window": overrides.get("window"),
+            "replication_factor": overrides.get("replication_factor", 1),
+            "jfrt_capacity": overrides.get("jfrt_capacity", 0),
+            "evict_every": evict_every,
         },
         "seed": seed,
+        "features": features,
         "shards": {name: entry["shards"] for name, entry in per_algorithm.items()},
         "host": {
             "python": platform.python_version(),
@@ -212,6 +289,9 @@ def run_scale(
             },
             "total": round(total_wall, 4),
         },
+        "resources": {
+            name: entry["resources"] for name, entry in per_algorithm.items()
+        },
         "metrics": {name: entry["metrics"] for name, entry in per_algorithm.items()},
     }
 
@@ -222,14 +302,18 @@ def verify_equivalence(
     algorithms: Sequence[str] = HEADLINE_ALGORITHMS,
     seed: int = 1,
     batch_size: int = 64,
+    config_overrides: Optional[dict] = None,
+    evict_every: int = DEFAULT_EVICT_EVERY,
 ) -> list[str]:
     """Differential check: fast path ≡ serial reference, bit for bit.
 
     For each algorithm the identical seeded workload is replayed three
     ways — serial :func:`run_standard`, staged in-process, staged over
-    forked shards — and every simulated metric must agree.  Returns
-    failure messages (empty = equivalent).
+    forked shards — and every simulated metric must agree, including
+    the sliding-window eviction count when ``config_overrides`` opens a
+    window.  Returns failure messages (empty = equivalent).
     """
+    overrides = dict(config_overrides or {})
     point = scale_point(n_nodes)
     workload = workload_for(point)
     problems: list[str] = []
@@ -237,9 +321,10 @@ def verify_equivalence(
         reference = run_standard(
             algorithm,
             point,
-            config_overrides={"index_choice": "random"},
+            config_overrides={"index_choice": "random", **overrides},
             workload=workload,
             seed=seed,
+            evict_every=evict_every,
         )
         install = reference.install_traffic
         stream = reference.stream_traffic
@@ -250,6 +335,7 @@ def verify_equivalence(
             "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
             "notifications_delivered": reference.notifications_delivered,
             "notification_digest": notification_digest(reference.engine),
+            "evictions": reference.evictions,
         }
         modes = [("staged", 1)]
         if fork_available():
@@ -258,10 +344,17 @@ def verify_equivalence(
             network = ChordNetwork.build(point.n_nodes, fast_routing=True)
             engine = ContinuousQueryEngine(
                 network,
-                EngineConfig(algorithm=algorithm, index_choice="random", seed=seed),
+                EngineConfig(
+                    algorithm=algorithm, index_choice="random", seed=seed, **overrides
+                ),
             )
             result = run_sharded(
-                engine, workload, shards=shards, batch_size=batch_size, seed=seed
+                engine,
+                workload,
+                shards=shards,
+                batch_size=batch_size,
+                seed=seed,
+                evict_every=evict_every,
             )
             got = _result_metrics(result)
             for metric in expected:
@@ -289,6 +382,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--queries", type=int, default=400)
     parser.add_argument("--tuples", type=int, default=800)
     parser.add_argument(
+        "--domain", type=int, default=900, help="join-value domain size"
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="sliding window (simulated time units; default unbounded)",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="attribute-level replication factor (paper §4.7)",
+    )
+    parser.add_argument(
+        "--jfrt",
+        type=int,
+        default=0,
+        help="JFRT cache capacity per rewriter (0 = disabled)",
+    )
+    parser.add_argument(
+        "--evict-every",
+        type=int,
+        default=DEFAULT_EVICT_EVERY,
+        help="events per barrier-aligned eviction sweep (windowed runs)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -314,6 +434,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="gate against a committed baseline JSON (e.g. BENCH_sim_scale.json)",
     )
     parser.add_argument(
+        "--append-extra",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record this run under the named baseline's 'extra_points' "
+            "list (replacing an entry with the same point), so committed "
+            "sweeps can carry large one-off points the CI gate ignores"
+        ),
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
@@ -327,19 +457,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     algorithms = tuple(name for name in args.algorithms.split(",") if name)
 
     if args.verify:
-        problems = verify_equivalence(algorithms=algorithms, seed=args.seed)
-        if problems:
-            for problem in problems:
-                print(f"VERIFY FAIL: {problem}", file=sys.stderr)
-            return 1
-        print(
-            f"verify: OK — staged/forked metrics identical to serial at "
-            f"{VERIFY_NODES} nodes ({', '.join(algorithms)})",
-            file=sys.stderr,
-        )
+        configurations = [
+            ("stripped", {}),
+            ("windowed+replicated+jfrt", dict(VERIFY_FEATURED)),
+        ]
+        for label, overrides in configurations:
+            problems = verify_equivalence(
+                algorithms=algorithms, seed=args.seed, config_overrides=overrides
+            )
+            if problems:
+                for problem in problems:
+                    print(f"VERIFY FAIL [{label}]: {problem}", file=sys.stderr)
+                return 1
+            print(
+                f"verify[{label}]: OK — staged/forked metrics identical to "
+                f"serial at {VERIFY_NODES} nodes ({', '.join(algorithms)})",
+                file=sys.stderr,
+            )
         return 0
 
-    point = scale_point(args.nodes, n_queries=args.queries, n_tuples=args.tuples)
+    config_overrides = {}
+    if args.window is not None:
+        config_overrides["window"] = args.window
+    if args.replication != 1:
+        config_overrides["replication_factor"] = args.replication
+    if args.jfrt != 0:
+        config_overrides["jfrt_capacity"] = args.jfrt
+    point = scale_point(
+        args.nodes,
+        n_queries=args.queries,
+        n_tuples=args.tuples,
+        domain_size=args.domain,
+    )
     report = run_scale(
         point,
         algorithms=algorithms,
@@ -347,6 +496,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeats=args.repeats,
         shards=args.shards,
         batch_size=args.batch_size,
+        config_overrides=config_overrides,
+        evict_every=args.evict_every,
     )
     rendered = json.dumps(report, indent=2, sort_keys=False)
     if args.output:
@@ -355,6 +506,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(rendered)
+
+    if args.append_extra:
+        with open(args.append_extra, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        extra = baseline.setdefault("extra_points", [])
+        extra[:] = [entry for entry in extra if entry.get("point") != report["point"]]
+        extra.append(report)
+        with open(args.append_extra, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(baseline, indent=2, sort_keys=False) + "\n")
+        print(f"appended extra point to {args.append_extra}", file=sys.stderr)
 
     if args.compare:
         with open(args.compare, "r", encoding="utf-8") as handle:

@@ -261,3 +261,36 @@ class RingSnapshot:
         return RingSnapshot(
             idents, self.m, self.successor_list_size, self.generation + 1
         )
+
+
+class SegmentMap:
+    """Contiguous-segment shard ownership over a sorted ident array.
+
+    The sharded executor (:mod:`repro.sim.shard`) assigns ring position
+    ``p`` of ``n`` members to shard ``p * shards // n`` — contiguous,
+    balanced segments.  This map answers "which shard owns identifier
+    ``i``?" with one ``bisect`` over the shared sorted array instead of
+    materializing an ident→shard dict, which at 10^6 members would cost
+    tens of megabytes and a full pass to build even for single-shard
+    runs that never ask.
+
+    Holds a *reference* to the caller's array (construction is O(1));
+    validity follows the same membership-generation contract as
+    :class:`RingSnapshot`.  Asking about a non-member identifier is a
+    contract violation and returns the successor's segment.
+    """
+
+    __slots__ = ("idents", "shards", "_n")
+
+    def __init__(self, idents: list[int], shards: int):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not idents:
+            raise ValueError("segment map requires a non-empty ring")
+        self.idents = idents
+        self.shards = shards
+        self._n = len(idents)
+
+    def shard_of(self, ident: int) -> int:
+        """The shard owning member ``ident``."""
+        return bisect_left(self.idents, ident) * self.shards // self._n

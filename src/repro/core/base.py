@@ -97,12 +97,20 @@ class NodeState:
         )
 
     def evict_expired(self, cutoff: float) -> int:
-        """Sliding-window eviction of value-level state."""
-        return (
-            self.vlqt.evict_older_than(cutoff)
-            + self.vltt.evict_older_than(cutoff)
-            + self.projections.evict_older_than(cutoff)
-        )
+        """Sliding-window eviction of value-level state.
+
+        Guarded by :meth:`~repro.core.tables.ValueLevelQueryTable.pending_before`
+        peeks: eviction rounds sweep every adopted node, and on large
+        rings almost all of them hold nothing old enough to evict.
+        """
+        total = 0
+        if self.vlqt.pending_before(cutoff):
+            total += self.vlqt.evict_older_than(cutoff)
+        if self.vltt.pending_before(cutoff):
+            total += self.vltt.evict_older_than(cutoff)
+        if self.projections.pending_before(cutoff):
+            total += self.projections.evict_older_than(cutoff)
+        return total
 
     def transfer_to(self, other: "NodeState", should_move) -> int:
         """Move items whose routing identifier satisfies ``should_move``.

@@ -149,6 +149,11 @@ class ContinuousQueryEngine:
         #: duplicate-suppression in global order at a barrier (see
         #: :mod:`repro.sim.shard`).
         self.notification_gateway = None
+        #: Every node state this engine ever attached, by identifier.
+        #: Window eviction iterates this registry instead of the whole
+        #: ring, so lazily adopted million-node networks pay per
+        #: *touched* node, not per member (see :meth:`adopted_states`).
+        self._adopted: dict[int, NodeState] = {}
 
         lazy = self.config.lazy_adoption
         if lazy is None:
@@ -179,9 +184,11 @@ class ContinuousQueryEngine:
     def adopt(self, node: ChordNode) -> NodeState:
         """Attach engine state and protocol handlers to a node."""
         if isinstance(node.app, NodeState):
+            self._adopted[node.ident] = node.app
             return node.app
         state = NodeState(node, self.config.jfrt_capacity)
         node.app = state
+        self._adopted[node.ident] = state
         algorithm = self.algorithm
         node.register_handler(
             "query", lambda n, m: algorithm.on_query(self, n, m)
@@ -471,18 +478,35 @@ class ContinuousQueryEngine:
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------
-    def evict_expired(self) -> int:
-        """Apply sliding-window eviction on every node (no-op when the
-        window is unbounded); returns the number of evicted items."""
+    def adopted_states(self):
+        """Yield ``(ident, state)`` for adopted *current-member* nodes.
+
+        The registry may retain states whose node has since left or
+        been replaced under the same identifier; the identity check
+        against the live membership table skips those, so iterating
+        here is equivalent to scanning the whole ring for
+        ``NodeState``-carrying members — at the cost of the touched
+        nodes only.
+        """
+        members = self.network._nodes
+        for ident, state in self._adopted.items():
+            if members.get(ident) is state.node:
+                yield ident, state
+
+    def evict_expired(self, cutoff: float | None = None) -> int:
+        """Apply sliding-window eviction on every adopted node (no-op
+        when the window is unbounded); returns the evicted-item count.
+
+        ``cutoff`` defaults to ``clock.now - window``; the sharded
+        executor passes it explicitly so barrier replicas evict against
+        the driver's clock rather than their own (possibly lagging)
+        copy.
+        """
         if self.config.window is None:
             return 0
-        cutoff = self.clock.now - self.config.window
-        # Un-adopted nodes (lazy rings) hold no state — nothing to evict.
-        return sum(
-            node.app.evict_expired(cutoff)
-            for node in self.network
-            if isinstance(node.app, NodeState)
-        )
+        if cutoff is None:
+            cutoff = self.clock.now - self.config.window
+        return sum(state.evict_expired(cutoff) for _, state in self.adopted_states())
 
     def load_snapshot(self) -> LoadSnapshot:
         """Per-node filtering/storage load vectors (see metrics module)."""

@@ -195,6 +195,16 @@ class ValueLevelQueryTable:
         self._evict_seq += 1
         heapq.heappush(self._evict_heap, (time, self._evict_seq, level1, value, entry))
 
+    def pending_before(self, cutoff: float) -> bool:
+        """True when :meth:`evict_older_than` could evict anything.
+
+        One heap peek — the barrier-aligned eviction replay calls this
+        on every adopted node per round, so it must cost O(1) on the
+        (overwhelmingly common) idle nodes.
+        """
+        heap = self._evict_heap
+        return bool(heap) and heap[0][0] < cutoff
+
     def add(self, rewritten: RewrittenQuery, routing_ident: int) -> tuple[StoredRewritten, bool]:
         """Store (or refresh) a rewritten query; returns (entry, is_new).
 
@@ -352,6 +362,11 @@ class ValueLevelTupleTable:
             stored.tuple == tup for stored in level2.get(tup.value(attribute), ())
         )
 
+    def pending_before(self, cutoff: float) -> bool:
+        """True when :meth:`evict_older_than` could evict anything."""
+        heap = self._evict_heap
+        return bool(heap) and heap[0][0] < cutoff
+
     def evict_older_than(self, cutoff: float) -> int:
         heap = self._evict_heap
         buckets = self._buckets
@@ -461,6 +476,11 @@ class ProjectionStore:
         if not level2:
             return []
         return list(level2.get(value, ()))
+
+    def pending_before(self, cutoff: float) -> bool:
+        """True when :meth:`evict_older_than` could evict anything."""
+        heap = self._evict_heap
+        return bool(heap) and heap[0][0] < cutoff
 
     def evict_older_than(self, cutoff: float) -> int:
         heap = self._evict_heap

@@ -100,17 +100,28 @@ class EventRing:
     def __len__(self) -> int:
         return self.length
 
-    def refill(self, source: Iterator[tuple[float, object, object]]) -> int:
+    def refill(
+        self,
+        source: Iterator[tuple[float, object, object]],
+        limit: int | None = None,
+    ) -> int:
         """Overwrite the ring with up to ``capacity`` items from ``source``.
 
         ``source`` yields ``(time, target, payload)`` triples with
         non-decreasing times.  Returns the number of slots filled
-        (0 when the source is exhausted).
+        (0 when the source is exhausted).  ``limit`` caps one refill
+        below the capacity — the sharded executor uses it to clip
+        epochs at barrier-aligned eviction boundaries without resizing
+        the buffer.
         """
         times = self.times
         targets = self.targets
         payloads = self.payloads
         capacity = self.capacity
+        if limit is not None:
+            if limit < 1:
+                raise ValueError("refill limit must be >= 1")
+            capacity = min(capacity, limit)
         count = 0
         previous = float("-inf")
         for time, target, payload in source:

@@ -1,9 +1,9 @@
-"""Sharded segment execution of the streaming phase (DESIGN.md §14).
+"""Sharded segment execution of the streaming phase (DESIGN.md §14–15).
 
 At large ring sizes the cost of an E14-style sweep point is dominated
-by handler execution at the nodes, and — fault-free, with replication
-and the JFRT off — the stream phase decomposes into *stages* whose
-work partitions cleanly across contiguous ring segments:
+by handler execution at the nodes, and — fault-free — the stream phase
+decomposes into *stages* whose work partitions cleanly across
+contiguous ring segments:
 
 * **stage 0** (driver): publish each tuple — compute its ``al-index``/
   ``vl-index`` identifiers and route the multisend over the ring
@@ -39,22 +39,57 @@ the B→C barrier.
 Batching whole epochs of ``batch_size`` events per stage cycle is
 exact for the same reason: stage 0 commutes with handler work, and
 everything else is ordered by ``ts`` regardless of which epoch carried
-it.  The differential tests in ``tests/sim/test_shard.py`` assert
-bit-identical traffic counters and notification digests against
-:func:`repro.bench.harness.run_workload` for all four algorithms, both
-in-process and forked.
+it.
+
+**Lifted modes (DESIGN.md §15).**  Three engine features that early
+versions rejected outright now run sharded, each carried by a named
+mechanism (see :func:`shard_capabilities`):
+
+* *barrier-aligned eviction* — sliding-window eviction happens only at
+  stage barriers, on the serial ``evict_every`` schedule: epochs are
+  clipped so each eviction boundary falls exactly at an epoch end, and
+  the driver replays the eviction with the serial cutoff
+  (``clock.now - window``), broadcast to forked workers which each
+  sweep only the nodes they own.  Exact because eviction commutes with
+  everything between two boundaries: entries only leave a window heap
+  when no future event could match them (event times are monotone), so
+  deferring the sweep to the barrier removes the *same* entries the
+  serial mid-epoch sweep would have removed.
+* *owner-aware replica exchange* — replica placements
+  (``Hash(R+A+"#j")``) land on arbitrary segments, but every replica
+  store/probe is staged as an ``(ts, time, owner_ident, message)``
+  record and routed to its owner's shard through the driver's command
+  pipes at the next barrier, so cross-shard replication needs no new
+  ordering argument: the records were already partitioned by target.
+* *owner-aware JFRT exchange* — a JFRT hit short-circuits routing with
+  ``send_direct`` to a cached evaluator that may live on another
+  shard; the staged delivery crosses segments the same driver-mediated
+  way.  JFRT state itself stays exact because each rewriter (and thus
+  its cache) lives in exactly one shard and learns from the same
+  ``ts``-ordered message subsequence as the serial run.
+
+The one genuinely unsupported configuration is a perturbing fault
+injector: drops/delays/crashes make delivery order nondeterministic,
+which the staged replay cannot reproduce.  The differential tests in
+``tests/sim/test_shard.py`` and ``tests/sim/test_shard_features.py``
+assert bit-identical traffic counters, eviction counts and
+notification digests against :func:`repro.bench.harness.run_workload`
+for all four algorithms, both in-process and forked.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from ..chord.routing import Router
+from ..chord.snapshot import SegmentMap
 from ..core.notifications import group_by_subscriber
 from ..perf import PERF
+from .events import EventRing
 from .messages import NotificationMessage
 from .stats import TrafficSnapshot
 
@@ -188,6 +223,18 @@ class ShardRunResult:
     duplicate_deliveries: int
     events: int
     shards: int
+    #: Sliding-window items evicted at barriers (compares bit-for-bit
+    #: with the serial :attr:`~repro.bench.harness.RunResult.evictions`
+    #: when both runs use the same ``evict_every``).
+    evictions: int = 0
+    #: Worker-produced records whose next-stage owner was a *different*
+    #: shard — the owner-aware exchange volume (cross-segment join
+    #: batches, replica probes and JFRT direct sends).  Always 0 for
+    #: in-process (single-segment) runs.
+    exchange_records: int = 0
+    #: Lifted modes this configuration engaged (see
+    #: :func:`shard_capabilities`).
+    features: tuple = ()
 
 
 class _Resolver:
@@ -256,17 +303,53 @@ class _Resolver:
         return items
 
 
-def _validate(engine) -> None:
+#: Engine features that once were blanket ``ShardError`` preconditions,
+#: mapped to the lifted execution mode that now carries each of them
+#: (mechanisms in the module docstring / DESIGN.md §15).
+CAPABILITIES = {
+    "window": "barrier-aligned eviction",
+    "replication": "owner-aware replica exchange",
+    "jfrt": "owner-aware JFRT exchange",
+}
+
+
+def shard_capabilities(engine) -> tuple[str, ...]:
+    """Names of the lifted modes this engine configuration engages.
+
+    Empty for the stripped (unbounded window, ``replication_factor=1``,
+    JFRT off) configuration the sharded executor originally supported.
+    The active set is recorded on :attr:`ShardRunResult.features` so
+    benchmark reports show which mechanisms a number exercised.
+    """
     config = engine.config
+    features = []
     if config.window is not None:
-        raise ShardError("sharded execution requires an unbounded window")
+        features.append(CAPABILITIES["window"])
     if config.replication_factor != 1:
-        raise ShardError("sharded execution requires replication_factor=1")
+        features.append(CAPABILITIES["replication"])
     if config.jfrt_capacity != 0:
-        raise ShardError("sharded execution requires the JFRT disabled")
+        features.append(CAPABILITIES["jfrt"])
+    return tuple(features)
+
+
+def _validate(engine) -> None:
+    """Reject the one configuration no lifted mode can carry.
+
+    A perturbing fault injector (drops, delays, crashes) makes delivery
+    order — and therefore the causal-timestamp replay — nondeterministic
+    at the transport, so faulted studies must run through the serial
+    simulator.  Everything else, including sliding windows, replication
+    and the JFRT, is handled by the lifted modes named in
+    :func:`shard_capabilities`.
+    """
     injector = engine.network.injector
     if injector is not None and injector.perturbs_delivery:
-        raise ShardError("sharded execution is fault-free only")
+        raise ShardError(
+            "sharded execution is fault-free only: a perturbing fault "
+            "injector reorders deliveries, which the staged "
+            "causal-timestamp replay cannot reproduce; run faulted "
+            "configurations through the serial simulator"
+        )
 
 
 def run_sharded(
@@ -276,6 +359,7 @@ def run_sharded(
     shards: int = 1,
     batch_size: int = 512,
     seed: int = 1,
+    evict_every: int = 64,
 ) -> ShardRunResult:
     """Replay a workload with the stream phase sharded across segments.
 
@@ -292,17 +376,27 @@ def run_sharded(
     in-process, which is also the portability fallback when fork is
     unavailable).
 
+    With a sliding window configured, ``evict_every`` replays the
+    serial eviction schedule of :func:`~repro.bench.harness.run_workload`
+    at stage barriers: the event counter spans the install prefix and
+    the stream, epochs are clipped so boundaries land exactly between
+    epochs, and a final sweep runs after the last event.
+
     Returns metrics bit-comparable with a serial
     :func:`~repro.bench.harness.run_workload` of the same engine
-    configuration: traffic counters, notification digest, delivery and
-    suppression counts.
+    configuration and ``evict_every``: traffic counters, notification
+    digest, delivery, eviction and suppression counts.
     """
     from ..bench.parallel import fork_available
 
     _validate(engine)
+    if evict_every < 1:
+        raise ShardError("evict_every must be >= 1")
+    features = shard_capabilities(engine)
     network = engine.network
     rng = random.Random(seed)
     clock = engine.clock
+    window = engine.config.window
 
     # ------------------------------------------------------------------
     # Serial install phase: warmup tuples + query subscriptions.
@@ -311,6 +405,8 @@ def run_sharded(
     stream_head = None
     seen_query = False
     install_events = 0
+    events_since_evict = 0
+    evictions = 0
     for event in source:
         if event.kind == "tuple" and seen_query:
             stream_head = event
@@ -324,18 +420,21 @@ def run_sharded(
         else:
             relation, values = event.payload
             engine.publish(origin, relation, values)
+        events_since_evict += 1
+        if window is not None and events_since_evict >= evict_every:
+            evictions += engine.evict_expired()
+            events_since_evict = 0
     install_snapshot = network.stats.snapshot()
 
     if shards > 1 and not fork_available():  # pragma: no cover - platform
         shards = 1
 
     # Shard ownership: contiguous segments of the sorted identifier
-    # array.  Built before the fork so workers inherit it.
-    idents = network._sorted_idents
-    n = len(idents)
-    shard_by_ident = {
-        ident: position * shards // n for position, ident in enumerate(idents)
-    }
+    # array, resolved by bisect on demand (no per-ident dict — at 10^6
+    # members that dict alone would dwarf the workload's state).  The
+    # map is created before the fork so workers share the array.
+    segment = SegmentMap(network._sorted_idents, shards)
+    shard_of = segment.shard_of
 
     transport = ShardTransport(network)
     previous_transport = network.use_transport(transport)
@@ -360,13 +459,24 @@ def run_sharded(
                         _process_stage(engine, worker_transport, items, phase)
                         a, b, c, candidates = worker_transport.drain()
                         conn.send(("produced", a + b + c, candidates))
+                    elif command[0] == "evict":
+                        # Barrier-aligned eviction: sweep only the nodes
+                        # this shard owns, against the driver's cutoff
+                        # (worker clocks can lag the boundary when the
+                        # last events produced no work for them).
+                        _, cutoff = command
+                        evicted = 0
+                        for ident, state in engine.adopted_states():
+                            if shard_of(ident) == index:
+                                evicted += state.evict_expired(cutoff)
+                        conn.send(("evicted", evicted))
                     elif command[0] == "finish":
                         delivered = {
                             key: pairs
                             for key, pairs in delivered_pairs(engine).items()
-                            if shard_by_ident[
+                            if shard_of(
                                 engine.queries[key].subscriber.ident
-                            ] == index
+                            ) == index
                         }
                         conn.send(
                             (
@@ -389,27 +499,54 @@ def run_sharded(
 
         pool = ShardPool(shards, worker_main)
 
+    exchange_records = 0
+
     def run_stage(phase: str, items: list) -> tuple[list, list]:
         """Execute one stage everywhere; returns (produced, candidates)."""
+        nonlocal exchange_records
         if pool is None:
             _process_stage(engine, transport, items, phase)
             a, b, c, candidates = transport.drain()
             return a + b + c, candidates
         partitions: list[list] = [[] for _ in range(shards)]
         for item in items:
-            partitions[shard_by_ident[item[2]]].append(item)
+            partitions[shard_of(item[2])].append(item)
         pool.scatter([("stage", phase, part) for part in partitions])
         if PERF.enabled:
             PERF.count("shard.barrier.exchanges")
             PERF.count("shard.barrier.items", len(items))
         produced: list = []
         candidates: list = []
-        for reply in pool.gather():
+        for index, reply in enumerate(pool.gather()):
             if reply[0] == "error":
                 raise ShardError(f"shard worker failed:\n{reply[1]}")
+            # Owner-aware exchange: records whose next-stage owner is a
+            # different shard cross segments through these pipes — the
+            # cross-shard join batches, replica probes and JFRT direct
+            # sends that used to be rejected outright.
+            crossed = sum(1 for item in reply[1] if shard_of(item[2]) != index)
+            if crossed:
+                exchange_records += crossed
+                if PERF.enabled:
+                    PERF.count("shard.exchange.records", crossed)
             produced.extend(reply[1])
             candidates.extend(reply[2])
         return produced, candidates
+
+    def barrier_evict() -> int:
+        """One serial-schedule eviction sweep, replayed at a barrier."""
+        cutoff = clock.now - window
+        if PERF.enabled:
+            PERF.count("shard.evictions.replayed")
+        if pool is None:
+            return engine.evict_expired(cutoff)
+        pool.broadcast(("evict", cutoff))
+        evicted = 0
+        for reply in pool.gather():
+            if reply[0] == "error":
+                raise ShardError(f"shard worker failed:\n{reply[1]}")
+            evicted += reply[1]
+        return evicted
 
     def split_stages(items: list) -> tuple[list, list]:
         stage_a, stage_b = [], []
@@ -418,40 +555,48 @@ def run_sharded(
         return stage_a, stage_b
 
     # ------------------------------------------------------------------
-    # Epoch loop over the tuple stream.
+    # Epoch loop over the tuple stream: a reused EventRing batch buffer
+    # (DESIGN.md §14) whose refills are clipped so that barrier-aligned
+    # eviction boundaries always coincide with epoch ends.
     # ------------------------------------------------------------------
+    stream: Iterator = ((event.time, event.kind, event.payload) for event in source)
+    if stream_head is not None:
+        head = (stream_head.time, stream_head.kind, stream_head.payload)
+        stream = itertools.chain((head,), stream)
+        stream_head = None
+    ring = EventRing(batch_size)
     stream_events = 0
     sequence = 0
     try:
         while True:
-            batch = []
-            if stream_head is not None:
-                batch.append(stream_head)
-                stream_head = None
-            while len(batch) < batch_size:
-                event = next(source, None)
-                if event is None:
-                    break
-                batch.append(event)
-            if not batch:
+            limit = None
+            if window is not None:
+                limit = evict_every - events_since_evict
+            count = ring.refill(stream, limit)
+            if count == 0:
                 break
             transport.allowed = PRODUCES["publish"]
-            for event in batch:
-                if event.kind != "tuple":
+            times = ring.times
+            kinds = ring.targets
+            payloads = ring.payloads
+            for i in range(count):
+                if kinds[i] != "tuple":
                     raise ShardError(
                         "query subscriptions after the stream began are "
                         "not supported in sharded execution"
                     )
-                clock.advance_to(event.time)
+                time = times[i]
+                clock.advance_to(time)
                 origin = network.random_node(rng)
                 sequence += 1
-                transport.begin((sequence,), event.time)
-                relation, values = event.payload
+                transport.begin((sequence,), time)
+                relation, values = payloads[i]
                 engine.publish(origin, relation, values)
-            stream_events += len(batch)
+            stream_events += count
+            events_since_evict += count
             if PERF.enabled:
                 PERF.count("shard.epochs")
-                PERF.count("shard.batch.events", len(batch))
+                PERF.count("shard.batch.events", count)
             stage_a, stage_b, stage_c, candidates = transport.drain()
             if stage_c or candidates:  # pragma: no cover - protocol guard
                 raise ShardError("publishing produced post-barrier work")
@@ -468,6 +613,13 @@ def run_sharded(
             produced_c, candidates_c = run_stage("C", stage_c_items)
             if produced_c or candidates_c:  # pragma: no cover - protocol guard
                 raise ShardError("stage C produced further work")
+            if window is not None and events_since_evict >= evict_every:
+                evictions += barrier_evict()
+                events_since_evict = 0
+        ring.clear()
+        if window is not None:
+            # The serial replay's unconditional final sweep.
+            evictions += barrier_evict()
 
         # --------------------------------------------------------------
         # Merge
@@ -519,6 +671,9 @@ def run_sharded(
         duplicate_deliveries=duplicate_deliveries,
         events=install_events + stream_events,
         shards=shards,
+        evictions=evictions,
+        exchange_records=exchange_records,
+        features=features,
     )
 
 

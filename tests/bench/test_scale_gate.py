@@ -49,7 +49,17 @@ class TestReportShape:
                 "stream_messages_by_type",
                 "notifications_delivered",
                 "notification_digest",
+                "evictions",
             }
+
+    def test_resource_columns(self, report):
+        for algorithm in report["metrics"]:
+            resources = report["resources"][algorithm]
+            assert resources["peak_rss_kb"] > 0
+            assert resources["events_per_sec"] > 0
+            assert resources["exchange_records"] == 0  # shards=1
+        # Stripped config: no lifted modes engaged.
+        assert report["features"] == []
 
     def test_json_round_trip(self, report):
         assert json.loads(json.dumps(report)) == report

@@ -119,6 +119,49 @@ class TestInstrumentedSites:
         assert counters.get("shard.epochs", 0) >= tiny.n_tuples // 8
         assert counters.get("shard.batch.events", 0) == tiny.n_tuples
 
+    def test_barrier_counters_record(self):
+        """The §15 lifted-mode sites: eviction replay + owner exchange."""
+        from repro.bench.configs import Scale
+        from repro.bench.harness import workload_for
+        from repro.bench.parallel import fork_available
+        from repro.chord.network import ChordNetwork
+        from repro.core.engine import ContinuousQueryEngine, EngineConfig
+        from repro.sim.shard import run_sharded
+
+        tiny = Scale("tiny", n_nodes=24, n_queries=8, n_tuples=20, domain_size=30)
+        workload = workload_for(tiny)
+        shards = 2 if fork_available() else 1
+        network = ChordNetwork.build(tiny.n_nodes, fast_routing=True)
+        engine = ContinuousQueryEngine(
+            network,
+            EngineConfig(
+                algorithm="sai",
+                index_choice="random",
+                seed=1,
+                window=10.0,
+                replication_factor=2,
+                jfrt_capacity=4,
+            ),
+        )
+        PERF.reset()
+        PERF.enable()
+        try:
+            result = run_sharded(
+                engine, workload, shards=shards, batch_size=8, evict_every=8
+            )
+        finally:
+            PERF.disable()
+        counters = PERF.snapshot()["counters"]
+        PERF.reset()
+        # One eviction replay per barrier-aligned boundary + final sweep.
+        expected_replays = tiny.n_queries + tiny.n_tuples
+        assert counters.get("shard.evictions.replayed", 0) >= expected_replays // 8
+        if shards > 1:
+            assert counters.get("shard.exchange.records", 0) == (
+                result.exchange_records
+            )
+            assert result.exchange_records > 0
+
     def test_scale_counters_zero_overhead_when_disabled(self):
         """Disabled registry: the same run records nothing at all."""
         from repro.bench.configs import Scale
@@ -129,11 +172,21 @@ class TestInstrumentedSites:
 
         tiny = Scale("tiny", n_nodes=24, n_queries=8, n_tuples=20, domain_size=30)
         network = ChordNetwork.build(tiny.n_nodes, fast_routing=True)
+        # The featured configuration drives the §15 sites too (barrier
+        # eviction replay, owner-aware exchange) — still zero recording.
         engine = ContinuousQueryEngine(
-            network, EngineConfig(algorithm="sai", index_choice="random", seed=1)
+            network,
+            EngineConfig(
+                algorithm="sai",
+                index_choice="random",
+                seed=1,
+                window=10.0,
+                replication_factor=2,
+                jfrt_capacity=4,
+            ),
         )
         assert PERF.enabled is False
-        run_sharded(engine, workload_for(tiny), shards=1, batch_size=8)
+        run_sharded(engine, workload_for(tiny), shards=1, batch_size=8, evict_every=8)
         assert PERF.snapshot()["counters"] == {}
         assert PERF.snapshot()["timers"] == {}
 

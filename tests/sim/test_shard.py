@@ -19,7 +19,7 @@ from repro.bench.macro import notification_digest
 from repro.bench.parallel import fork_available
 from repro.chord.network import ChordNetwork
 from repro.core.engine import ContinuousQueryEngine, EngineConfig
-from repro.sim.shard import ShardError, run_sharded
+from repro.sim.shard import ShardError, run_sharded, shard_capabilities
 
 ALGORITHMS = ("sai", "dai-q", "dai-t", "dai-v")
 
@@ -97,20 +97,60 @@ class TestForkedEquivalence:
         assert result.shards == 3
 
 
-class TestPreconditions:
+class TestCapabilities:
+    """The blanket preconditions are gone; lifted modes carry them.
+
+    Each once-rejected configuration now runs sharded and is named by
+    :func:`shard_capabilities`; the genuinely unsupported perturbing
+    fault injector keeps a clear error.
+    """
+
     def _engine(self, **overrides):
-        network = ChordNetwork.build(8)
-        config = EngineConfig(algorithm="sai", **overrides)
+        network = ChordNetwork.build(64, fast_routing=True)
+        config = EngineConfig(algorithm="sai", index_choice="random", **overrides)
         return ContinuousQueryEngine(network, config)
 
-    def test_window_rejected(self, workload):
-        with pytest.raises(ShardError, match="unbounded window"):
-            run_sharded(self._engine(window=10.0), workload)
+    def test_window_lifted(self, workload):
+        engine = self._engine(window=10.0)
+        assert shard_capabilities(engine) == ("barrier-aligned eviction",)
+        result = run_sharded(engine, workload, batch_size=16)
+        assert result.features == ("barrier-aligned eviction",)
 
-    def test_replication_rejected(self, workload):
-        with pytest.raises(ShardError, match="replication_factor"):
-            run_sharded(self._engine(replication_factor=2), workload)
+    def test_replication_lifted(self, workload):
+        engine = self._engine(replication_factor=2)
+        assert shard_capabilities(engine) == ("owner-aware replica exchange",)
+        result = run_sharded(engine, workload, batch_size=16)
+        assert result.features == ("owner-aware replica exchange",)
 
-    def test_jfrt_rejected(self, workload):
-        with pytest.raises(ShardError, match="JFRT"):
-            run_sharded(self._engine(jfrt_capacity=4), workload)
+    def test_jfrt_lifted(self, workload):
+        engine = self._engine(jfrt_capacity=4)
+        assert shard_capabilities(engine) == ("owner-aware JFRT exchange",)
+        result = run_sharded(engine, workload, batch_size=16)
+        assert result.features == ("owner-aware JFRT exchange",)
+
+    def test_all_features_engage_together(self, workload):
+        engine = self._engine(window=10.0, replication_factor=2, jfrt_capacity=4)
+        assert shard_capabilities(engine) == (
+            "barrier-aligned eviction",
+            "owner-aware replica exchange",
+            "owner-aware JFRT exchange",
+        )
+
+    def test_stripped_config_reports_no_features(self, workload):
+        engine = self._engine()
+        assert shard_capabilities(engine) == ()
+        result = run_sharded(engine, workload, batch_size=16)
+        assert result.features == ()
+
+    def test_perturbing_fault_injector_rejected(self, workload):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        engine = self._engine()
+        engine.network.injector = FaultInjector(FaultPlan(loss_probability=0.1))
+        with pytest.raises(ShardError, match="fault-free"):
+            run_sharded(engine, workload)
+
+    def test_bad_evict_every_rejected(self, workload):
+        with pytest.raises(ShardError, match="evict_every"):
+            run_sharded(self._engine(window=10.0), workload, evict_every=0)
