@@ -1,0 +1,82 @@
+"""Hot path 10: the experiment database's claim protocol.
+
+Every experiment a worker pulls costs one ``BEGIN IMMEDIATE``
+claim transaction plus periodic heartbeat updates, and every finished
+experiment one guarded result write.  Those transactions are pure
+overhead on top of the actual run, so they must stay far below the
+cheapest experiment (tens of milliseconds); this bench pins the cost
+of each protocol step — and of the fill upsert that seeds the table —
+on a WAL database with a few thousand rows.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from repro.expdb.db import ExperimentDB
+from repro.expdb.grid import GridSpec
+
+from _common import report
+
+METRICS = {
+    "notifications_delivered": 5,
+    "notification_digest": "ab" * 20,
+}
+
+
+def _grid(n_rows: int) -> GridSpec:
+    return GridSpec(algorithms=("sai",), seeds=tuple(range(1, n_rows + 1)))
+
+
+def run(n_rows: int = 2000) -> list[dict]:
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-expdb-") as tmp:
+        path = os.path.join(tmp, "bench.sqlite")
+        with ExperimentDB(path) as db:
+            start = time.perf_counter()
+            db.fill(_grid(n_rows).expand())
+            fill_elapsed = time.perf_counter() - start
+            rows.append(
+                report(
+                    "expdb.fill_upsert",
+                    fill_elapsed / n_rows * 1e9,
+                    n_rows=n_rows,
+                )
+            )
+
+            start = time.perf_counter()
+            claims = [db.claim("bench-worker") for _ in range(n_rows)]
+            claim_elapsed = time.perf_counter() - start
+            rows.append(
+                report(
+                    "expdb.claim_transaction",
+                    claim_elapsed / n_rows * 1e9,
+                    n_rows=n_rows,
+                )
+            )
+
+            heartbeat_id = claims[0].id
+            start = time.perf_counter()
+            for _ in range(n_rows):
+                db.heartbeat(heartbeat_id, "bench-worker")
+            heartbeat_elapsed = time.perf_counter() - start
+            rows.append(
+                report(
+                    "expdb.heartbeat_update",
+                    heartbeat_elapsed / n_rows * 1e9,
+                )
+            )
+
+            start = time.perf_counter()
+            for claim in claims:
+                db.finish(claim.id, "bench-worker", METRICS, {"wall_seconds": 0.01})
+            finish_elapsed = time.perf_counter() - start
+            rows.append(
+                report(
+                    "expdb.finish_guarded_write",
+                    finish_elapsed / n_rows * 1e9,
+                )
+            )
+    return rows

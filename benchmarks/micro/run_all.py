@@ -22,6 +22,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_barrier
 import bench_events
+import bench_expdb
 import bench_hashing
 import bench_multisend
 import bench_rewrite
@@ -39,6 +40,7 @@ SUITES = (
     bench_rewrite,
     bench_events,
     bench_barrier,
+    bench_expdb,
     bench_codec,
 )
 

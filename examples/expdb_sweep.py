@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""A three-axis sweep study through the experiment database.
+
+Declares a grid (algorithm × ring size × Zipf skew, two seeds per
+point), fills it into a SQLite experiment database, drains it with two
+concurrent worker processes pulling rows through the standard serial
+harness, and renders the resulting perf history — the workflow
+EXPERIMENTS.md documents under "Sweep studies", shrunk to run in
+seconds.
+
+Everything here also works split across terminals (or machines sharing
+the file): ``fill`` once, start as many ``python -m repro.expdb
+worker`` processes as you like, and re-start them after any crash —
+the claim protocol guarantees every row runs to ``done`` exactly once.
+
+Run with::
+
+    python examples/expdb_sweep.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.expdb import ExperimentDB, GridSpec
+
+GRID = GridSpec(
+    algorithms=("sai", "dai-t", "dai-v"),
+    n_nodes=(32, 64),
+    zipf_s=(0.6, 0.9, 1.2),
+    n_queries=(40,),
+    n_tuples=(120,),
+    domain_sizes=(40,),
+    seeds=(1, 2),
+)
+
+
+def spawn_worker(db_path: str, worker_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.expdb",
+            "--db",
+            db_path,
+            "worker",
+            "--drain",
+            "--worker-id",
+            worker_id,
+        ],
+        stderr=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+    )
+
+
+def main() -> None:
+    db_path = os.path.join(tempfile.mkdtemp(prefix="expdb-sweep-"), "sweep.sqlite")
+
+    with ExperimentDB(db_path) as db:
+        added, _ = db.fill(GRID.expand())
+    print(f"filled {added} experiments ({GRID.size()} grid points) into {db_path}")
+
+    workers = [spawn_worker(db_path, f"worker-{i}") for i in (1, 2)]
+    for worker in workers:
+        worker.wait()
+    print("both workers drained\n")
+
+    with ExperimentDB(db_path) as db:
+        counts = db.status_counts()
+        rows = db.rows(status="done")
+    assert counts["done"] == GRID.size(), counts
+
+    # Aggregate the history over the skew axis: mean hops per
+    # algorithm × zipf_s, seeds and ring sizes averaged out.
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault((row["algorithm"], row["zipf_s"]), []).append(row["hops"])
+
+    from repro.bench.report import render_table
+
+    table = [
+        {
+            "algorithm": algorithm,
+            "zipf_s": zipf_s,
+            "runs": len(hops),
+            "mean_hops": round(sum(hops) / len(hops), 1),
+        }
+        for (algorithm, zipf_s), hops in sorted(groups.items())
+    ]
+    print(render_table(["algorithm", "zipf_s", "runs", "mean_hops"], table))
+    print(
+        "\nper-seed digests agree per point; rerun this script and the "
+        "metric columns will be byte-identical."
+    )
+
+
+if __name__ == "__main__":
+    main()

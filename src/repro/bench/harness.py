@@ -31,25 +31,40 @@ from ..workload.generator import Workload, WorkloadParams, build_workload
 
 @dataclass
 class RunResult:
-    """Everything a benchmark needs from one workload replay."""
+    """Everything a benchmark needs from one workload replay.
 
-    engine: ContinuousQueryEngine
-    workload: Workload
-    queries: list[JoinQuery]
-    install_traffic: TrafficSnapshot
-    stream_traffic: TrafficSnapshot
-    load: LoadSnapshot
+    A live result (from :func:`run_workload`) carries the engine and
+    workload objects; a result reconstructed from a persisted row
+    (:meth:`from_row`) carries only the metrics — the live-only fields
+    are ``None`` and the delivered count/digest come from the stored
+    columns.
+    """
+
+    engine: Optional[ContinuousQueryEngine] = None
+    workload: Optional[Workload] = None
+    queries: list[JoinQuery] = field(default_factory=list)
+    install_traffic: TrafficSnapshot = field(
+        default_factory=lambda: TrafficSnapshot(0, 0, {}, {})
+    )
+    stream_traffic: TrafficSnapshot = field(
+        default_factory=lambda: TrafficSnapshot(0, 0, {}, {})
+    )
+    load: Optional[LoadSnapshot] = None
     per_tuple_hops: list[int] = field(default_factory=list)
     oracle: Optional[CentralizedOracle] = None
     #: Sliding-window items evicted over the replay (0 when unbounded).
     #: Deterministic for a seeded workload, so differential checks can
     #: compare it across execution modes like any other metric.
     evictions: int = 0
+    #: Stored delivered-notification count/digest of a reconstructed
+    #: row; live results derive both from the engine instead.
+    stored_delivered: Optional[int] = None
+    stored_digest: Optional[str] = None
 
     @property
     def hops_per_tuple(self) -> float:
         """Mean overlay hops per tuple insertion in the stream phase."""
-        streamed = self.workload.n_tuples
+        streamed = self.workload.n_tuples if self.workload is not None else 0
         return self.stream_traffic.hops / streamed if streamed else 0.0
 
     @property
@@ -60,19 +75,68 @@ class RunResult:
 
     @property
     def notifications_delivered(self) -> int:
+        if self.engine is None:
+            return self.stored_delivered or 0
         return sum(len(batch) for batch in self.engine.delivered.values())
+
+    def notification_digest(self) -> str:
+        """The canonical answer-set digest (live or reconstructed)."""
+        if self.engine is None:
+            return self.stored_digest or ""
+        from .rows import notification_digest
+
+        return notification_digest(self.engine)
+
+    def to_row(self) -> dict:
+        """This result's invariant metrics as a stable JSON-safe dict.
+
+        No live objects (engine, workload, oracle) survive — the row is
+        what baselines and the experiment database persist.  See
+        :mod:`repro.bench.rows` for the stability contract.
+        """
+        from .rows import ROW_VERSION, traffic_to_row
+
+        return {
+            "row_version": ROW_VERSION,
+            "kind": "run",
+            "install_traffic": traffic_to_row(self.install_traffic),
+            "stream_traffic": traffic_to_row(self.stream_traffic),
+            "notifications_delivered": self.notifications_delivered,
+            "notification_digest": self.notification_digest(),
+            "evictions": self.evictions,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "RunResult":
+        """Reconstruct a metrics-only result from :meth:`to_row` output."""
+        from .rows import traffic_from_row
+
+        return cls(
+            install_traffic=traffic_from_row(row["install_traffic"]),
+            stream_traffic=traffic_from_row(row["stream_traffic"]),
+            evictions=row.get("evictions", 0),
+            stored_delivered=row["notifications_delivered"],
+            stored_digest=row["notification_digest"],
+        )
 
 
 def make_engine(
     scale: Scale | None = None,
     config: EngineConfig | None = None,
     network: ChordNetwork | None = None,
+    injector=None,
 ) -> ContinuousQueryEngine:
-    """A fresh engine over a stable ring of ``scale.n_nodes`` nodes."""
+    """A fresh engine over a stable ring of ``scale.n_nodes`` nodes.
+
+    ``injector`` (a :class:`~repro.faults.FaultInjector`) wires a seeded
+    fault plan into the ring's router, so sweep harnesses — notably
+    :mod:`repro.expdb` — can run faulted points through the standard
+    entry points without building the network themselves.
+    """
     if scale is None:
         scale = current_scale()
     if network is None:
-        network = ChordNetwork.build(scale.n_nodes)
+        network = ChordNetwork.build(scale.n_nodes, injector=injector)
     return ContinuousQueryEngine(network, config)
 
 
@@ -191,6 +255,9 @@ def _diff(later: TrafficSnapshot, earlier: TrafficSnapshot) -> TrafficSnapshot:
             key: count - earlier.messages_by_type.get(key, 0)
             for key, count in later.messages_by_type.items()
         },
+        messages_dropped=later.messages_dropped - earlier.messages_dropped,
+        retries=later.retries - earlier.retries,
+        messages_delayed=later.messages_delayed - earlier.messages_delayed,
     )
 
 
@@ -203,6 +270,7 @@ def run_standard(
     seed: int = 1,
     collect_per_tuple_hops: bool = False,
     evict_every: int = 64,
+    injector=None,
     **workload_overrides,
 ) -> RunResult:
     """One-call experiment: engine + workload + replay.
@@ -215,7 +283,7 @@ def run_standard(
     config = EngineConfig(algorithm=algorithm, seed=seed, **config_kwargs)
     if workload is None:
         workload = workload_for(scale, **workload_overrides)
-    engine = make_engine(scale, config)
+    engine = make_engine(scale, config, injector=injector)
     return run_workload(
         engine,
         workload,

@@ -28,7 +28,6 @@ are machine-independent and must match exactly on any host.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import platform
 import sys
@@ -38,6 +37,10 @@ from typing import Optional, Sequence
 from ..chord.hashing import hash_key_cache_clear
 from .configs import SCALES, Scale, current_scale
 from .harness import run_standard, workload_for
+# notification_digest moved to repro.bench.rows (its canonical home,
+# shared with RunResult.to_row and the expdb writer); re-exported here
+# because the net/ and sim/ layers import it from this module.
+from .rows import MACRO_METRIC_FIELDS, metric_summary, notification_digest
 
 #: Algorithms measured by the headline benchmark, in presentation order.
 HEADLINE_ALGORITHMS = ("sai", "dai-q", "dai-t", "dai-v")
@@ -62,20 +65,6 @@ def headline_scale(scale: Optional[Scale] = None) -> Scale:
     return base.scaled(nodes=8.0)
 
 
-def notification_digest(engine) -> str:
-    """A stable SHA-1 digest of every query's delivered answer set.
-
-    Sorted per query and across queries, so delivery order (which may
-    legitimately vary with routing internals) never affects the digest
-    while any change to the *set* of answers does.
-    """
-    canonical = sorted(
-        (key, sorted((n.join_value_repr, repr(n.row)) for n in batch))
-        for key, batch in engine.delivered.items()
-    )
-    return hashlib.sha1(repr(canonical).encode("utf-8")).hexdigest()
-
-
 def _measure_algorithm(algorithm: str, run_scale: Scale, seed: int) -> dict:
     """One seeded replay: wall-clock plus the invariant metrics."""
     workload = workload_for(run_scale)
@@ -88,18 +77,9 @@ def _measure_algorithm(algorithm: str, run_scale: Scale, seed: int) -> dict:
         seed=seed,
     )
     wall = time.perf_counter() - start
-    stream = result.stream_traffic
-    install = result.install_traffic
     return {
         "wall_seconds": wall,
-        "metrics": {
-            "hops": stream.hops + install.hops,
-            "messages": stream.messages + install.messages,
-            "stream_hops_by_type": dict(sorted(stream.hops_by_type.items())),
-            "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
-            "notifications_delivered": result.notifications_delivered,
-            "notification_digest": notification_digest(result.engine),
-        },
+        "metrics": metric_summary(result.to_row(), MACRO_METRIC_FIELDS),
     }
 
 

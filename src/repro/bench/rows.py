@@ -1,0 +1,119 @@
+"""Stable dict ("row") serialization of benchmark results.
+
+Every consumer of a measured run — the macro-benchmark baseline
+(:mod:`repro.bench.macro`), the large-scale sweep gate
+(:mod:`repro.bench.scale`) and the experiment database writer
+(:mod:`repro.expdb`) — needs the same invariant metrics in the same
+vocabulary.  Before this module each of them hand-rolled its own dict;
+now :meth:`~repro.bench.harness.RunResult.to_row` /
+:meth:`~repro.sim.shard.ShardRunResult.to_row` produce one **stable,
+versioned, JSON-safe** row (plain ints/floats/strings/dicts — never
+pickled objects), ``from_row`` reconstructs a result carrying the same
+metrics, and the helpers here project rows into each consumer's
+committed-baseline field set.
+
+Stability contract: the row is what gets persisted (``BENCH_*.json``
+baselines, the ``repro.expdb`` SQLite history), so existing keys never
+change meaning.  Additions bump :data:`ROW_VERSION`; readers must
+tolerate unknown keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..sim.stats import TrafficSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import ContinuousQueryEngine
+
+#: Version of the row layout produced by ``to_row`` implementations.
+ROW_VERSION = 1
+
+#: Metric fields of the committed macro-benchmark baseline
+#: (``BENCH_seed.json``) — frozen; the CI gate compares them exactly.
+MACRO_METRIC_FIELDS = (
+    "hops",
+    "messages",
+    "stream_hops_by_type",
+    "stream_messages_by_type",
+    "notifications_delivered",
+    "notification_digest",
+)
+
+#: Metric fields of the committed scale baseline
+#: (``BENCH_sim_scale.json``) — the macro set plus eviction counts.
+SCALE_METRIC_FIELDS = MACRO_METRIC_FIELDS + ("evictions",)
+
+
+def notification_digest(engine: "ContinuousQueryEngine") -> str:
+    """A stable SHA-1 digest of every query's delivered answer set.
+
+    Sorted per query and across queries, so delivery order (which may
+    legitimately vary with routing internals) never affects the digest
+    while any change to the *set* of answers does.
+    """
+    canonical = sorted(
+        (key, sorted((n.join_value_repr, repr(n.row)) for n in batch))
+        for key, batch in engine.delivered.items()
+    )
+    return hashlib.sha1(repr(canonical).encode("utf-8")).hexdigest()
+
+
+def traffic_to_row(snapshot: TrafficSnapshot) -> dict:
+    """One traffic snapshot as a JSON-safe dict with sorted type keys."""
+    return {
+        "hops": snapshot.hops,
+        "messages": snapshot.messages,
+        "hops_by_type": dict(sorted(snapshot.hops_by_type.items())),
+        "messages_by_type": dict(sorted(snapshot.messages_by_type.items())),
+        "messages_dropped": snapshot.messages_dropped,
+        "retries": snapshot.retries,
+        "messages_delayed": snapshot.messages_delayed,
+    }
+
+
+def traffic_from_row(row: Mapping) -> TrafficSnapshot:
+    """Inverse of :func:`traffic_to_row` (unknown keys ignored)."""
+    return TrafficSnapshot(
+        hops=row["hops"],
+        messages=row["messages"],
+        hops_by_type=dict(row["hops_by_type"]),
+        messages_by_type=dict(row["messages_by_type"]),
+        messages_dropped=row.get("messages_dropped", 0),
+        retries=row.get("retries", 0),
+        messages_delayed=row.get("messages_delayed", 0),
+    )
+
+
+def metric_summary(
+    row: Mapping, fields: Iterable[str] = SCALE_METRIC_FIELDS
+) -> dict:
+    """Project a result row onto a committed baseline's metric fields.
+
+    ``fields`` controls both the selection *and* the key order, so the
+    rendered JSON of an existing baseline never changes shape when the
+    row itself grows new keys.  Rows that are already summaries (the
+    committed baselines carry top-level ``hops``/``messages`` instead
+    of traffic snapshots) pass through unchanged, so the projection is
+    idempotent.
+    """
+    empty = {"hops": 0, "messages": 0, "hops_by_type": {}, "messages_by_type": {}}
+    install = row.get("install_traffic") or empty
+    stream = row.get("stream_traffic") or empty
+    full = {
+        "hops": row.get("hops", install["hops"] + stream["hops"]),
+        "messages": row.get("messages", install["messages"] + stream["messages"]),
+        "stream_hops_by_type": dict(
+            row.get("stream_hops_by_type", stream["hops_by_type"])
+        ),
+        "stream_messages_by_type": dict(
+            row.get("stream_messages_by_type", stream["messages_by_type"])
+        ),
+        "notifications_delivered": row["notifications_delivered"],
+        "notification_digest": row["notification_digest"],
+        "evictions": row.get("evictions", 0),
+        "exchange_records": row.get("exchange_records", 0),
+    }
+    return {name: full[name] for name in fields}

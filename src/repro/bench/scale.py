@@ -62,9 +62,9 @@ from .macro import (
     DEFAULT_THRESHOLD,
     HEADLINE_ALGORITHMS,
     compare_reports,
-    notification_digest,
     speedup_versus,
 )
+from .rows import SCALE_METRIC_FIELDS, metric_summary
 from .parallel import configured_processes, fork_available
 
 #: Name recorded in the JSON so unrelated baselines never compare.
@@ -137,17 +137,7 @@ def default_shards() -> int:
 
 def _result_metrics(result: ShardRunResult) -> dict:
     """The invariant-metrics dict, in macro-benchmark vocabulary."""
-    install = result.install_traffic
-    stream = result.stream_traffic
-    return {
-        "hops": stream.hops + install.hops,
-        "messages": stream.messages + install.messages,
-        "stream_hops_by_type": dict(sorted(stream.hops_by_type.items())),
-        "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
-        "notifications_delivered": result.notifications_delivered,
-        "notification_digest": result.notification_digest,
-        "evictions": result.evictions,
-    }
+    return metric_summary(result.to_row(), SCALE_METRIC_FIELDS)
 
 
 def run_scale_point(
@@ -199,6 +189,7 @@ def run_scale_point(
         "build_seconds": built - start,
         "shards": result.shards,
         "metrics": _result_metrics(result),
+        "row": result.to_row(),
         "resources": {
             "peak_rss_kb": peak_rss_kb(),
             "events_per_sec": round(result.events / wall, 1) if wall else 0.0,
@@ -326,17 +317,7 @@ def verify_equivalence(
             seed=seed,
             evict_every=evict_every,
         )
-        install = reference.install_traffic
-        stream = reference.stream_traffic
-        expected = {
-            "hops": stream.hops + install.hops,
-            "messages": stream.messages + install.messages,
-            "stream_hops_by_type": dict(sorted(stream.hops_by_type.items())),
-            "stream_messages_by_type": dict(sorted(stream.messages_by_type.items())),
-            "notifications_delivered": reference.notifications_delivered,
-            "notification_digest": notification_digest(reference.engine),
-            "evictions": reference.evictions,
-        }
+        expected = metric_summary(reference.to_row(), SCALE_METRIC_FIELDS)
         modes = [("staged", 1)]
         if fork_available():
             modes.append(("forked", 4))

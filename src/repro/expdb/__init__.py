@@ -1,0 +1,31 @@
+"""Persistent experiment database with pull-based workers.
+
+One SQLite file holds the whole sweep: a declarative grid is expanded
+and upserted (``fill``), any number of worker processes atomically pull
+open experiments and execute them through the existing benchmark
+harnesses, results and failures land back in the same rows, and the
+accumulated perf history is queryable (``report``) and exportable
+(``export``).  See ``python -m repro.expdb --help``.
+"""
+
+from .db import Claim, ExperimentDB, canonical_fault_plan, decode_params, normalize_params
+from .grid import ALGORITHMS, GridSpec, parse_axis
+from .runner import ExperimentOutcome, run_experiment
+from .worker import WorkerConfig, WorkerStats, default_worker_id, run_worker
+
+__all__ = [
+    "ALGORITHMS",
+    "Claim",
+    "ExperimentDB",
+    "ExperimentOutcome",
+    "GridSpec",
+    "WorkerConfig",
+    "WorkerStats",
+    "canonical_fault_plan",
+    "decode_params",
+    "default_worker_id",
+    "normalize_params",
+    "parse_axis",
+    "run_experiment",
+    "run_worker",
+]

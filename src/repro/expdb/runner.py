@@ -1,0 +1,186 @@
+"""Execute one database row through the existing benchmark harnesses.
+
+The worker hands this module a decoded parameter dict (see
+:func:`repro.expdb.db.decode_params`); the transport column picks the
+back-end:
+
+* ``sim`` — the serial simulator via
+  :func:`repro.bench.harness.run_standard`, optionally with a seeded
+  :class:`~repro.faults.FaultPlan` wired into the ring's router (the
+  only transport that accepts a fault plan today);
+* ``shard`` — the staged/sharded executor via
+  :func:`repro.bench.scale.run_scale_point` (fault plans refused, as
+  :func:`repro.sim.shard.shard_capabilities` documents);
+* ``live`` — the real-TCP load generator via
+  :func:`repro.net.loadgen.run_load_sync` (answer-set metrics are
+  deterministic; throughput/latency land in the resource columns).
+
+Every outcome carries the stable metrics row (``to_row()``) plus the
+per-run resource columns (wall seconds, peak RSS, events/sec).  The
+metrics are machine-independent and reproducible from the parameters
+alone — re-running the same row must produce byte-identical metrics.
+
+``REPRO_EXPDB_RUN_DELAY`` (float seconds) pauses execution between
+claim and run; the crash-consistency tests use it to SIGKILL workers
+mid-run deterministically.  It is a test hook, not a tuning knob.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bench.configs import Scale
+from ..bench.harness import run_standard
+from ..bench.scale import peak_rss_kb, run_scale_point
+from ..faults import DelaySpec, FaultInjector, FaultPlan
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """What one executed experiment persists."""
+
+    #: Stable result row (``to_row()`` output) — machine-independent.
+    metrics: dict
+    #: Resource columns + transport-specific extras — machine-dependent.
+    resources: dict
+
+
+def fault_plan_from_dict(spec: dict) -> FaultPlan:
+    """A :class:`FaultPlan` from its JSON form (``delay`` → DelaySpec)."""
+    kwargs = dict(spec)
+    delay = kwargs.pop("delay", None)
+    if delay is not None:
+        kwargs["delay"] = DelaySpec(**delay)
+    if "net" in kwargs:
+        raise ValueError("net fault specs are live-cluster only; not supported here")
+    return FaultPlan(**kwargs)
+
+
+def scale_for(params: dict) -> Scale:
+    """The workload profile one row describes."""
+    return Scale(
+        name=f"expdb-{params['transport']}-{params['n_nodes']}",
+        n_nodes=params["n_nodes"],
+        n_queries=params["n_queries"],
+        n_tuples=params["n_tuples"],
+        domain_size=params["domain_size"],
+        zipf_s=params["zipf_s"],
+    )
+
+
+def engine_overrides(params: dict) -> dict:
+    """EngineConfig overrides encoded by the feature columns."""
+    overrides: dict = {"index_choice": "random"}
+    if params["window"]:
+        overrides["window"] = params["window"]
+    if params["replication_factor"] != 1:
+        overrides["replication_factor"] = params["replication_factor"]
+    if params["jfrt_capacity"]:
+        overrides["jfrt_capacity"] = params["jfrt_capacity"]
+    return overrides
+
+
+def _run_sim(params: dict) -> ExperimentOutcome:
+    injector: Optional[FaultInjector] = None
+    if params["fault_plan"]:
+        injector = FaultInjector(fault_plan_from_dict(params["fault_plan"]))
+    start = time.perf_counter()
+    result = run_standard(
+        params["algorithm"],
+        scale_for(params),
+        config_overrides=engine_overrides(params),
+        seed=params["seed"],
+        evict_every=params["evict_every"],
+        injector=injector,
+    )
+    wall = time.perf_counter() - start
+    events = params["n_queries"] + params["n_tuples"]
+    return ExperimentOutcome(
+        metrics=result.to_row(),
+        resources={
+            "wall_seconds": round(wall, 4),
+            "peak_rss_kb": peak_rss_kb(),
+            "events_per_sec": round(events / wall, 1) if wall else 0.0,
+        },
+    )
+
+
+def _run_shard(params: dict, *, shards: Optional[int]) -> ExperimentOutcome:
+    if params["fault_plan"]:
+        raise ValueError(
+            "the shard transport refuses perturbing fault plans "
+            "(see repro.sim.shard.shard_capabilities); use transport='sim'"
+        )
+    config = engine_overrides(params)
+    config.pop("index_choice")  # run_scale_point sets it itself
+    sample = run_scale_point(
+        params["algorithm"],
+        scale_for(params),
+        seed=params["seed"],
+        shards=shards,
+        config_overrides=config,
+        evict_every=params["evict_every"],
+    )
+    return ExperimentOutcome(
+        metrics=sample["row"],
+        resources={
+            "wall_seconds": round(sample["wall_seconds"], 4),
+            **sample["resources"],
+            "build_seconds": round(sample["build_seconds"], 4),
+            "shards": sample["shards"],
+        },
+    )
+
+
+def _run_live(params: dict) -> ExperimentOutcome:
+    if params["fault_plan"]:
+        raise ValueError(
+            "fault plans on the live transport go through "
+            "python -m repro.net.cluster --chaos, not the experiment "
+            "database; use transport='sim' for faulted sweep points"
+        )
+    from ..net.loadgen import LoadgenConfig, run_load_sync
+
+    overrides = engine_overrides(params)
+    overrides.pop("index_choice")
+    report = run_load_sync(
+        LoadgenConfig(
+            algorithm=params["algorithm"],
+            n_nodes=params["n_nodes"],
+            n_queries=params["n_queries"],
+            n_tuples=params["n_tuples"],
+            domain_size=params["domain_size"],
+            zipf_s=params["zipf_s"],
+            seed=params["seed"],
+            engine_overrides=overrides,
+        )
+    )
+    return ExperimentOutcome(
+        metrics=report.to_row(),
+        resources={
+            "wall_seconds": round(report.stream_seconds, 4),
+            "peak_rss_kb": peak_rss_kb(),
+            "events_per_sec": report.events_per_sec,
+            "notifications_per_sec": report.notifications_per_sec,
+            "latency_ms": report.latency.as_dict(),
+        },
+    )
+
+
+def run_experiment(params: dict, *, shards: Optional[int] = None) -> ExperimentOutcome:
+    """One claimed row, executed; raises on any error (the worker
+    records the traceback in the row)."""
+    delay = float(os.environ.get("REPRO_EXPDB_RUN_DELAY", "0") or 0)
+    if delay > 0:
+        time.sleep(delay)
+    transport = params["transport"]
+    if transport == "sim":
+        return _run_sim(params)
+    if transport == "shard":
+        return _run_shard(params, shards=shards)
+    if transport == "live":
+        return _run_live(params)
+    raise ValueError(f"unknown transport {transport!r}")

@@ -101,6 +101,9 @@ class LoadgenConfig:
     n_queries: int = 15
     n_tuples: int = 80
     domain_size: int = 40
+    #: Zipf exponent of the generated values (the WorkloadParams
+    #: default, so committed baselines are unaffected).
+    zipf_s: float = 0.9
     seed: int = 1
     #: Pre-batching transport (``max_batch_frames=1``) when False.
     batched: bool = True
@@ -124,6 +127,7 @@ class LoadgenConfig:
                 n_queries=self.n_queries,
                 n_tuples=self.n_tuples,
                 domain_size=self.domain_size,
+                zipf_s=self.zipf_s,
                 seed=self.seed,
             )
         )
@@ -235,6 +239,21 @@ class LoadReport:
             "frames_shed": self.frames_shed,
             "peak_in_flight": self.peak_in_flight,
             "latency_ms": self.latency.as_dict(),
+        }
+
+    def to_row(self) -> dict:
+        """Stable JSON-safe dict shared with the :mod:`repro.expdb`
+        writer: the invariant answer-set columns under the same names
+        as the simulator rows, the live-only measurements nested."""
+        from ..bench.rows import ROW_VERSION
+
+        return {
+            "row_version": ROW_VERSION,
+            "kind": "live",
+            "notifications_delivered": self.notifications,
+            "notification_digest": self.digest,
+            "mode": self.mode(),
+            "live": self.as_dict(),
         }
 
     def summary(self) -> str:

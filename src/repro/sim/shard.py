@@ -236,6 +236,46 @@ class ShardRunResult:
     #: :func:`shard_capabilities`).
     features: tuple = ()
 
+    def to_row(self) -> dict:
+        """Stable JSON-safe dict of this run (no pickling; see
+        :mod:`repro.bench.rows` for the stability contract)."""
+        from ..bench.rows import ROW_VERSION, traffic_to_row
+
+        return {
+            "row_version": ROW_VERSION,
+            "kind": "shard",
+            "install_traffic": traffic_to_row(self.install_traffic),
+            "stream_traffic": traffic_to_row(self.stream_traffic),
+            "notifications_delivered": self.notifications_delivered,
+            "notification_digest": self.notification_digest,
+            "suppressed_renotifications": self.suppressed_renotifications,
+            "duplicate_deliveries": self.duplicate_deliveries,
+            "events": self.events,
+            "shards": self.shards,
+            "evictions": self.evictions,
+            "exchange_records": self.exchange_records,
+            "features": list(self.features),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "ShardRunResult":
+        """Inverse of :meth:`to_row` (unknown keys ignored)."""
+        from ..bench.rows import traffic_from_row
+
+        return cls(
+            install_traffic=traffic_from_row(row["install_traffic"]),
+            stream_traffic=traffic_from_row(row["stream_traffic"]),
+            notifications_delivered=row["notifications_delivered"],
+            notification_digest=row["notification_digest"],
+            suppressed_renotifications=row.get("suppressed_renotifications", 0),
+            duplicate_deliveries=row.get("duplicate_deliveries", 0),
+            events=row.get("events", 0),
+            shards=row.get("shards", 1),
+            evictions=row.get("evictions", 0),
+            exchange_records=row.get("exchange_records", 0),
+            features=tuple(row.get("features", ())),
+        )
+
 
 class _Resolver:
     """Replays the serial pre-hop suppression at the B→C barrier.

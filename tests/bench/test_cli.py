@@ -16,10 +16,23 @@ class TestCLI:
         monkeypatch.setenv("REPRO_SCALE", "paper")
         assert main(["--only", "T1", "--scale", "smoke"]) == 0
 
-    def test_unknown_experiment_rejected(self, monkeypatch):
+    def test_unknown_experiment_exits_nonzero(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_SCALE", "smoke")
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["--only", "E99"])
+        assert excinfo.value.code != 0
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_unknown_scale_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--only", "T1", "--scale", "galactic"])
+        assert excinfo.value.code != 0
+        assert "--scale" in capsys.readouterr().err
+
+    def test_unwritable_markdown_path_raises(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        with pytest.raises(OSError):
+            main(["--only", "T1", "--write-md", str(tmp_path / "no" / "dir" / "o.md")])
 
     def test_write_markdown(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "smoke")

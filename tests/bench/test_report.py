@@ -88,3 +88,31 @@ class TestAsciiCurve:
         values[0] = 99.0
         chart = ascii_curve(values, width=10)
         assert "max = 99" in chart
+
+    def test_all_negative_degrades_to_all_zero(self):
+        from repro.bench.report import ascii_curve
+
+        assert "(all zero)" in ascii_curve([-3.0, -1.0], label="x")
+
+
+class TestEdgePaths:
+    def test_to_text_renders_series_charts(self):
+        result = sample_result()
+        result.series = {"loads": [5.0, 3.0, 1.0]}
+        text = result.to_text()
+        assert "loads" in text
+        assert "max = 5" in text
+
+    def test_to_markdown_without_notes_has_no_notes_block(self):
+        result = sample_result()
+        result.notes = ""
+        md = result.to_markdown()
+        assert "some notes" not in md
+        assert md.endswith("\n")
+
+    def test_format_handles_negative_and_large_floats(self):
+        from repro.bench.report import _format
+
+        assert _format(-12345.6) == "-12,346"
+        assert _format(0.0) == "0"
+        assert _format(True) in ("True", "1")  # bools are ints; stays total

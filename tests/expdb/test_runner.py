@@ -1,0 +1,158 @@
+"""Transport dispatch: database rows through the real harnesses.
+
+The determinism assertions here back the database's core promise: the
+metric columns are machine-independent, so re-running a row (on any
+worker, any day) reproduces byte-identical metrics.
+"""
+
+import json
+
+import pytest
+
+from repro.expdb.db import normalize_params
+from repro.expdb.runner import (
+    engine_overrides,
+    fault_plan_from_dict,
+    run_experiment,
+    scale_for,
+)
+from repro.faults import DelaySpec
+
+TINY_SIM = {
+    "transport": "sim",
+    "algorithm": "dai-t",
+    "n_nodes": 16,
+    "n_queries": 12,
+    "n_tuples": 30,
+    "domain_size": 12,
+    "seed": 3,
+}
+
+
+def params(**overrides):
+    return normalize_params({**TINY_SIM, **overrides})
+
+
+def decoded(**overrides):
+    from repro.expdb.db import decode_params
+
+    return decode_params(params(**overrides))
+
+
+class TestSimTransport:
+    def test_metrics_are_byte_identical_across_runs(self):
+        first = run_experiment(decoded())
+        second = run_experiment(decoded())
+        canonical = lambda metrics: json.dumps(metrics, sort_keys=True)
+        assert canonical(first.metrics) == canonical(second.metrics)
+        assert first.metrics["notifications_delivered"] > 0
+        assert first.metrics["kind"] == "run"
+
+    def test_resources_ride_along(self):
+        outcome = run_experiment(decoded())
+        assert outcome.resources["wall_seconds"] > 0
+        assert outcome.resources["peak_rss_kb"] > 0
+        assert outcome.resources["events_per_sec"] > 0
+
+    def test_feature_columns_change_the_run(self):
+        plain = run_experiment(decoded())
+        windowed = run_experiment(decoded(window=5.0, jfrt_capacity=8))
+        assert plain.metrics != windowed.metrics
+
+    def test_fault_plan_perturbs_traffic_deterministically(self):
+        faulted = decoded(fault_plan={"loss_probability": 0.05})
+        first = run_experiment(faulted)
+        second = run_experiment(faulted)
+        assert first.metrics == second.metrics
+        assert first.metrics["stream_traffic"]["messages_dropped"] > 0
+
+    def test_different_seeds_differ(self):
+        assert (
+            run_experiment(decoded(seed=1)).metrics
+            != run_experiment(decoded(seed=2)).metrics
+        )
+
+
+class TestShardTransport:
+    def test_shard_run_carries_the_stable_row(self):
+        outcome = run_experiment(
+            decoded(transport="shard", n_nodes=48, algorithm="sai"), shards=1
+        )
+        assert outcome.metrics["kind"] == "shard"
+        assert outcome.metrics["notifications_delivered"] > 0
+        assert outcome.resources["shards"] == 1
+        assert outcome.resources["wall_seconds"] > 0
+
+    def test_fault_plans_are_refused(self):
+        with pytest.raises(ValueError, match="refuses perturbing fault plans"):
+            run_experiment(
+                decoded(transport="shard", fault_plan={"loss_probability": 0.1}),
+                shards=1,
+            )
+
+
+class TestLiveTransport:
+    def test_live_run_reports_answer_set_metrics(self):
+        outcome = run_experiment(
+            decoded(
+                transport="live",
+                algorithm="sai",
+                n_nodes=5,
+                n_queries=6,
+                n_tuples=20,
+                domain_size=10,
+            )
+        )
+        assert outcome.metrics["kind"] == "live"
+        assert outcome.metrics["notifications_delivered"] > 0
+        assert len(outcome.metrics["notification_digest"]) == 40
+        assert outcome.resources["events_per_sec"] > 0
+        assert "latency_ms" in outcome.resources
+
+    def test_fault_plans_are_refused(self):
+        with pytest.raises(ValueError, match="live"):
+            run_experiment(
+                decoded(transport="live", fault_plan={"loss_probability": 0.1})
+            )
+
+
+class TestDispatchHelpers:
+    def test_unknown_transport_rejected(self):
+        bad = decoded()
+        bad["transport"] = "pigeon"
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_experiment(bad)
+
+    def test_scale_for_maps_workload_columns(self):
+        scale = scale_for(decoded())
+        assert scale.n_nodes == 16
+        assert scale.n_queries == 12
+        assert scale.n_tuples == 30
+        assert scale.domain_size == 12
+        assert scale.zipf_s == 0.9
+
+    def test_engine_overrides_only_lift_non_defaults(self):
+        assert engine_overrides(decoded()) == {"index_choice": "random"}
+        lifted = engine_overrides(
+            decoded(window=240, replication_factor=2, jfrt_capacity=64)
+        )
+        assert lifted == {
+            "index_choice": "random",
+            "window": 240.0,
+            "replication_factor": 2,
+            "jfrt_capacity": 64,
+        }
+
+    def test_fault_plan_from_dict_builds_delay_spec(self):
+        plan = fault_plan_from_dict(
+            {
+                "loss_probability": 0.1,
+                "delay": {"probability": 0.2, "minimum": 1.0, "maximum": 3.0},
+            }
+        )
+        assert plan.loss_probability == 0.1
+        assert plan.delay == DelaySpec(probability=0.2, minimum=1.0, maximum=3.0)
+
+    def test_net_fault_specs_are_live_only(self):
+        with pytest.raises(ValueError, match="live-cluster only"):
+            fault_plan_from_dict({"net": {"disconnect_rate": 0.1}})

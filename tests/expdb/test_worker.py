@@ -1,0 +1,163 @@
+"""The pull-based worker loop, with an injected (fast) runner."""
+
+import threading
+
+import pytest
+
+from repro.expdb.db import ExperimentDB
+from repro.expdb.grid import GridSpec
+from repro.expdb.runner import ExperimentOutcome
+from repro.expdb.worker import WorkerConfig, default_worker_id, run_worker
+
+METRICS = {
+    "notifications_delivered": 3,
+    "notification_digest": "f00d" * 10,
+}
+
+
+def fake_runner(params, *, shards=None):
+    return ExperimentOutcome(
+        metrics={**METRICS, "seed": params["seed"]},
+        resources={"wall_seconds": 0.01},
+    )
+
+
+def config(db_path, **overrides):
+    defaults = dict(
+        db_path=str(db_path),
+        worker_id="w-test",
+        drain=True,
+        poll_interval=0.01,
+        heartbeat_every=0.05,
+    )
+    defaults.update(overrides)
+    return WorkerConfig(**defaults)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    path = tmp_path / "exp.sqlite"
+    with ExperimentDB(str(path)) as db:
+        db.fill(GridSpec(algorithms=("sai", "dai-v"), seeds=(1, 2)).expand())
+    return path
+
+
+class TestWorkerLoop:
+    def test_drains_every_open_row(self, db_path):
+        stats = run_worker(config(db_path), runner=fake_runner)
+        assert stats.completed == 4
+        assert stats.failed == 0
+        with ExperimentDB(str(db_path)) as db:
+            assert db.status_counts()["done"] == 4
+            rows = db.rows(status="done")
+        assert all(row["worker"] == "w-test" for row in rows)
+        assert all(row["wall_seconds"] == 0.01 for row in rows)
+
+    def test_max_runs_caps_the_loop(self, db_path):
+        stats = run_worker(config(db_path, max_runs=2), runner=fake_runner)
+        assert stats.executed == 2
+        with ExperimentDB(str(db_path)) as db:
+            assert db.status_counts()["open"] == 2
+
+    def test_failures_are_recorded_and_the_loop_continues(self, db_path):
+        def flaky(params, *, shards=None):
+            if params["algorithm"] == "sai":
+                raise RuntimeError("injected failure")
+            return fake_runner(params)
+
+        events = []
+        stats = run_worker(config(db_path), runner=flaky, on_event=events.append)
+        assert stats.completed == 2
+        assert stats.failed == 2
+        with ExperimentDB(str(db_path)) as db:
+            errors = db.rows(status="error")
+        assert len(errors) == 2
+        assert all("injected failure" in row["error"] for row in errors)
+        assert any("error on" in line for line in events)
+
+    def test_keyboard_interrupt_releases_the_claim(self, db_path):
+        def interrupted(params, *, shards=None):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_worker(config(db_path), runner=interrupted)
+        with ExperimentDB(str(db_path)) as db:
+            counts = db.status_counts()
+        assert counts == {"open": 4, "running": 0, "done": 0, "error": 0}
+
+    def test_default_worker_id_is_host_and_pid(self):
+        import os
+        import socket
+
+        assert default_worker_id() == f"{socket.gethostname()}:{os.getpid()}"
+
+
+class TestDeterminism:
+    def test_same_grid_and_seeds_give_byte_identical_metric_rows(self, tmp_path):
+        """The database's perf-history promise: parameters + seed fully
+        determine the metric columns, bit for bit, run after run."""
+        grid = GridSpec(
+            algorithms=("sai", "dai-t"),
+            n_nodes=(16,),
+            n_queries=(12,),
+            n_tuples=(30,),
+            domain_sizes=(12,),
+            seeds=(1, 2),
+        )
+
+        def sweep(label):
+            path = tmp_path / f"{label}.sqlite"
+            with ExperimentDB(str(path)) as db:
+                db.fill(grid.expand())
+            run_worker(config(path, worker_id=label))
+            with ExperimentDB(str(path)) as db:
+                return {
+                    tuple(row[name] for name in ("algorithm", "seed")): row[
+                        "metrics_json"
+                    ]
+                    for row in db.rows(status="done")
+                }
+
+        first = sweep("first")
+        second = sweep("second")
+        assert len(first) == 4
+        assert first == second
+
+
+class TestConcurrentWorkers:
+    def test_no_row_is_executed_twice(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        with ExperimentDB(str(path)) as db:
+            db.fill(GridSpec(n_nodes=(16, 32, 64), seeds=(1, 2)).expand())
+            total = db.status_counts()["open"]
+        assert total == 24
+
+        lock = threading.Lock()
+        executed = []
+
+        def recording_runner(params, *, shards=None):
+            with lock:
+                executed.append(tuple(sorted(params.items())))
+            return fake_runner(params)
+
+        def worker(worker_id):
+            run_worker(
+                config(path, worker_id=worker_id, heartbeat_every=0.02),
+                runner=recording_runner,
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert len(executed) == total
+        assert len(set(executed)) == total, "a parameter row ran twice"
+        with ExperimentDB(str(path)) as db:
+            counts = db.status_counts()
+            rows = db.rows(status="done")
+        assert counts["done"] == total
+        assert all(row["attempts"] == 1 for row in rows)

@@ -74,6 +74,25 @@ class TestExamples:
         assert "stage 2" in output
         assert "assignments found" in output
 
+    def test_expdb_sweep_shrunk(self, capsys):
+        module = load_example("expdb_sweep")
+        from repro.expdb import GridSpec
+
+        module.GRID = GridSpec(
+            algorithms=("sai", "dai-v"),
+            n_nodes=(16,),
+            zipf_s=(0.6, 1.2),
+            n_queries=(12,),
+            n_tuples=(30,),
+            domain_sizes=(12,),
+            seeds=(1,),
+        )
+        module.main()
+        output = capsys.readouterr().out
+        assert "filled 4 experiments" in output
+        assert "both workers drained" in output
+        assert "mean_hops" in output
+
     def test_live_cluster_shrunk(self, capsys):
         module = load_example("live_cluster")
         module.N_NODES = 4
